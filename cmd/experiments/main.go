@@ -1,0 +1,207 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (§6). Each experiment prints the series/rows the paper
+// plots; EXPERIMENTS.md records paper-vs-measured values.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig6 [-scale small|default] [-seed N]
+//	experiments -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"pretium/internal/exp"
+)
+
+var experiments = map[string]func(sc exp.Scale, seed int64) error{
+	"fig1": func(sc exp.Scale, seed int64) error {
+		printRows("Figure 1: CDF of 90th/10th percentile link-utilization ratio", exp.Figure1(sc, seed))
+		return nil
+	},
+	"fig2": func(sc exp.Scale, seed int64) error {
+		printRows("Figure 2: four-node worked example (optimal welfare = 34)", exp.Figure2())
+		return nil
+	},
+	"fig4": func(sc exp.Scale, seed int64) error {
+		printRows("Figure 4: price menus under two deadlines", exp.Figure4())
+		return nil
+	},
+	"fig5": func(sc exp.Scale, seed int64) error {
+		printRows("Figure 5: top-10% mean (z_e) vs 95th percentile (y_e) correlation", exp.Figure5(sc, seed))
+		return nil
+	},
+	"fig6": func(sc exp.Scale, seed int64) error {
+		sweep, err := exp.LoadSweep(sc, loadFactors(), exp.AllSchemes(), seed)
+		if err != nil {
+			return err
+		}
+		printRows("Figure 6: welfare relative to OPT vs load factor", exp.Figure6(sweep))
+		printRows("Figure 8: profit relative to |RegionOracle| vs load factor", exp.Figure8(sweep))
+		printRows("Figure 9: request completion fraction vs load factor", exp.Figure9(sweep))
+		return nil
+	},
+	"fig7": func(sc exp.Scale, seed int64) error {
+		a, b, c, err := exp.Figure7(sc, seed)
+		if err != nil {
+			return err
+		}
+		printRows("Figure 7a: price vs utilization over time (busiest priced link, load 2)", a)
+		printRows("Figure 7b: value achieved rel. OPT by value-per-byte bucket", b)
+		printRows("Figure 7c: admission price vs request value (sampled)", c)
+		return nil
+	},
+	"fig10": func(sc exp.Scale, seed int64) error {
+		rows, err := exp.Figure10(sc, []string{exp.SchemeRegionOracle, exp.SchemeVCGLike, exp.SchemePretium}, seed)
+		if err != nil {
+			return err
+		}
+		printRows("Figure 10: quantiles of per-link 90th-pct utilization, by scheme (load 1)", rows)
+		return nil
+	},
+	"fig11": func(sc exp.Scale, seed int64) error {
+		rows, err := exp.Figure11(sc, loadFactors(), seed)
+		if err != nil {
+			return err
+		}
+		printRows("Figure 11: ablations — welfare rel. OPT (full vs NoMenu vs NoSAM)", rows)
+		return nil
+	},
+	"fig12": func(sc exp.Scale, seed int64) error {
+		rows, err := exp.Figure12(sc, []float64{0.5, 1, 1.5, 2, 3}, seed)
+		if err != nil {
+			return err
+		}
+		printRows("Figure 12: welfare rel. OPT vs mean link cost (load 1)", rows)
+		return nil
+	},
+	"fig13": func(sc exp.Scale, seed int64) error {
+		f13, f14, err := exp.Figure13and14(sc, exp.ValueDistCases(), seed)
+		if err != nil {
+			return err
+		}
+		printRows("Figure 13: welfare rel. OPT across value distributions (load 1)", f13)
+		printRows("Figure 14: Pretium profit rel. |RegionOracle| across value distributions", f14)
+		return nil
+	},
+	"table4": func(sc exp.Scale, seed int64) error {
+		rows, err := exp.Table4(sc, seed)
+		if err != nil {
+			return err
+		}
+		printRows("Table 4: module runtimes (our solver, our scale — compare shape, not seconds)", rows)
+		return nil
+	},
+	"incentives": func(sc exp.Scale, seed int64) error {
+		res, err := exp.Incentives(sc, 10, seed)
+		if err != nil {
+			return err
+		}
+		printRows("§5 incentives: single-request deadline misreports", res.Rows())
+		return nil
+	},
+	"convergence": func(sc exp.Scale, seed int64) error {
+		rows, err := exp.Convergence(sc, 6, seed)
+		if err != nil {
+			return err
+		}
+		printRows("§4.4 price convergence over statistically identical days", rows)
+		return nil
+	},
+}
+
+// order fixes the -exp all execution sequence.
+var order = []string{"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig10", "fig11", "fig12", "fig13", "table4", "incentives", "convergence"}
+
+func loadFactors() []float64 { return []float64{0.5, 1, 2, 3} }
+
+// plotMode is set by the -plot flag: render bar charts under each table.
+var plotMode bool
+
+func printRows(title string, rows []exp.Row) {
+	fmt.Printf("\n== %s ==\n", title)
+	for _, r := range rows {
+		fmt.Println("  " + r.Fmt())
+	}
+	if !plotMode || len(rows) == 0 {
+		return
+	}
+	// One bar chart per distinct column name.
+	seen := map[string]bool{}
+	for _, r := range rows {
+		for _, c := range r.Columns {
+			if seen[c.Name] {
+				continue
+			}
+			seen[c.Name] = true
+			if chart := exp.RenderBars(rows, c.Name, 48); chart != "" {
+				fmt.Println()
+				fmt.Print(chart)
+			}
+		}
+	}
+}
+
+func main() {
+	var (
+		name  = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		scale = flag.String("scale", "default", "experiment scale: small or default")
+		seed  = flag.Int64("seed", 1, "experiment seed")
+		list  = flag.Bool("list", false, "list experiments")
+		plot  = flag.Bool("plot", false, "render ASCII bar charts under each table")
+	)
+	flag.Parse()
+	plotMode = *plot
+
+	if *list || *name == "" {
+		names := make([]string, 0, len(experiments))
+		for n := range experiments {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("experiments:", strings.Join(names, " "), "| all")
+		return
+	}
+	var sc exp.Scale
+	switch *scale {
+	case "small":
+		sc = exp.Small()
+	case "default":
+		sc = exp.Default()
+	case "paper":
+		sc = exp.Paper()
+		fmt.Fprintln(os.Stderr, "warning: paper scale builds very large LPs; expect hours per experiment")
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	run := func(n string) {
+		f, ok := experiments[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", n)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := f(sc, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s done in %.1fs]\n", n, time.Since(start).Seconds())
+	}
+	if *name == "all" {
+		for _, n := range order {
+			run(n)
+		}
+		return
+	}
+	for _, n := range strings.Split(*name, ",") {
+		run(strings.TrimSpace(n))
+	}
+}

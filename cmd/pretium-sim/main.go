@@ -1,0 +1,136 @@
+// Command pretium-sim runs one scheme (Pretium or a baseline) over a
+// synthetic workload and prints its economics — a one-shot driver for
+// exploring configurations outside the canned experiments.
+//
+// Usage:
+//
+//	pretium-sim -scheme Pretium -load 2 -seed 7
+//	pretium-sim -scheme OPT -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pretium/internal/exp"
+	"pretium/internal/graph"
+	"pretium/internal/traffic"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", exp.SchemePretium, "scheme: "+strings.Join(append(exp.AllSchemes(), exp.SchemeNoMenu, exp.SchemeNoSAM, exp.SchemeOnlineTE), ", "))
+		scale    = flag.String("scale", "default", "experiment scale: small or default")
+		load     = flag.Float64("load", 1, "traffic load factor")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		rate     = flag.Float64("ratefrac", 0, "fraction of requests issued as rate requests")
+		topoFile = flag.String("topology", "", "load the WAN from a topology CSV (see graph.WriteCSV) instead of generating one")
+		trace    = flag.String("trace", "", "replay a recorded traffic-matrix CSV (see traffic.WriteSeriesCSV) instead of generating traffic")
+	)
+	flag.Parse()
+
+	var sc exp.Scale
+	switch *scale {
+	case "small":
+		sc = exp.Small()
+	case "default":
+		sc = exp.Default()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	s := exp.NewSetup(sc, exp.WithLoad(*load), exp.WithSeed(*seed), exp.WithRateFraction(*rate))
+	if *topoFile != "" || *trace != "" {
+		var err error
+		s, err = setupFromFiles(s, sc, *topoFile, *trace, *load, *seed, *rate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("setup: %d nodes, %d edges (%d usage-priced), %d steps, %d requests, load %.2g\n",
+		s.Net.NumNodes(), s.Net.NumEdges(), len(s.Net.UsagePricedEdges()), sc.Steps, len(s.Requests), *load)
+
+	start := time.Now()
+	res, err := s.RunScheme(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	r := res.Report
+	fmt.Printf("\n%s in %.2fs\n", res.Name, elapsed.Seconds())
+	fmt.Printf("  welfare:    %10.1f  (value %.1f − exact 95th-pct cost %.1f)\n", r.Welfare, r.Value, r.Cost)
+	fmt.Printf("  profit:     %10.1f  (revenue %.1f)\n", r.Profit, r.Revenue)
+	fmt.Printf("  completion: %9.1f%%  (%d of %d requests)\n", r.CompletionFrac*100, r.Completed, len(s.Requests))
+	fmt.Printf("  reneged:    %10.2f bytes\n", r.RenegedBytes)
+	if res.Controller != nil {
+		tm := res.Controller.Timings
+		fmt.Printf("  module runs: RA=%d SAM=%d PC=%d\n", len(tm.RA), len(tm.SAM), len(tm.PC))
+	}
+}
+
+// setupFromFiles rebuilds the experiment setup from a topology CSV and/or
+// a recorded trace CSV: the trace replaces the synthetic traffic matrix,
+// and requests are re-synthesized from it with the scale's parameters.
+func setupFromFiles(base *exp.Setup, sc exp.Scale, topoPath, tracePath string, load float64, seed int64, rateFrac float64) (*exp.Setup, error) {
+	net := base.Net
+	if topoPath != "" {
+		f, err := os.Open(topoPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		net, err = graph.ReadCSV(f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	series := base.Series
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		series, err = traffic.ReadSeriesCSV(f)
+		if err != nil {
+			return nil, err
+		}
+		if load != 1 {
+			series.Scale(load)
+		}
+	} else if topoPath != "" {
+		// A custom topology invalidates the pre-generated series (node
+		// counts may differ): regenerate on the new network.
+		gc := traffic.DefaultGenConfig(sc.Steps)
+		gc.StepsPerDay = sc.StepsPerDay
+		gc.Seed = seed + 100
+		series = traffic.Generate(net, gc)
+		if load != 1 {
+			series.Scale(load)
+		}
+	}
+	if len(series) > 0 && len(series[0].Demand) != net.NumNodes() {
+		return nil, fmt.Errorf("trace covers %d nodes, topology has %d", len(series[0].Demand), net.NumNodes())
+	}
+	rc := traffic.DefaultRequestConfig()
+	rc.MeanSize = sc.MeanRequestSize * load
+	rc.ValueDist = base.ValueDist
+	rc.RoutesPerRequest = sc.RoutesPerRequest
+	rc.MaxSlack = sc.StepsPerDay / 2
+	rc.RateFraction = rateFrac
+	rc.AggregateSteps = sc.AggregateSteps
+	rc.Seed = seed + 200
+	reqs := traffic.Synthesize(net, series, rc)
+	out := *base
+	out.Net = net
+	out.Series = series
+	out.Requests = reqs
+	out.Scale.Steps = len(series)
+	return &out, nil
+}

@@ -1,0 +1,134 @@
+// Command tracegen generates and summarizes a synthetic inter-DC traffic
+// trace — the stand-in for the production WAN trace the paper replays —
+// and optionally emits the per-link utilization series as CSV for
+// external analysis.
+//
+// Usage:
+//
+//	tracegen -days 7 -summary
+//	tracegen -days 1 -csv > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pretium/internal/graph"
+	"pretium/internal/stats"
+	"pretium/internal/traffic"
+)
+
+func main() {
+	var (
+		days    = flag.Int("days", 7, "days of traffic to generate")
+		perDay  = flag.Int("stepsperday", 24, "timesteps per day")
+		regions = flag.Int("regions", 3, "WAN regions")
+		nodes   = flag.Int("nodes", 4, "datacenters per region")
+		seed    = flag.Int64("seed", 7, "generator seed")
+		csv     = flag.Bool("csv", false, "emit per-link utilization series as CSV to stdout")
+		matrix  = flag.Bool("matrix", false, "emit the traffic-matrix series as CSV to stdout (replayable via pretium-sim -trace)")
+		topoOut = flag.String("topology", "", "also write the generated topology as CSV to this file (replayable via pretium-sim -topology)")
+		summary = flag.Bool("summary", true, "print trace summary statistics")
+	)
+	flag.Parse()
+
+	wc := graph.DefaultWANConfig()
+	wc.Regions, wc.NodesPerRegion, wc.Seed = *regions, *nodes, *seed
+	net := graph.GenerateWAN(wc)
+
+	gc := traffic.DefaultGenConfig(*days * *perDay)
+	gc.StepsPerDay = *perDay
+	gc.Seed = *seed + 1
+	series := traffic.Generate(net, gc)
+	usage := traffic.LinkUtilization(net, series)
+
+	if *topoOut != "" {
+		f, err := os.Create(*topoOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := net.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *matrix {
+		if err := traffic.WriteSeriesCSV(os.Stdout, series); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *csv {
+		fmt.Println("edge,from,to,step,load")
+		for _, e := range net.Edges() {
+			for t, u := range usage[e.ID] {
+				fmt.Printf("%d,%s,%s,%d,%.4f\n", e.ID, net.Node(e.From).Name, net.Node(e.To).Name, t, u)
+			}
+		}
+		return
+	}
+	if !*summary {
+		return
+	}
+
+	total := 0.0
+	for _, m := range series {
+		total += m.Total()
+	}
+	fmt.Printf("trace: %d steps (%d days), %d nodes, %d edges, total volume %.0f\n",
+		len(series), *days, net.NumNodes(), net.NumEdges(), total)
+
+	var ratios []float64
+	over5, under2 := 0, 0
+	for _, s := range usage {
+		p90, err1 := stats.Percentile(s, 90)
+		p10, err2 := stats.Percentile(s, 10)
+		if err1 != nil || err2 != nil || p10 <= 0 {
+			continue
+		}
+		r := p90 / p10
+		ratios = append(ratios, r)
+		if r > 5 {
+			over5++
+		}
+		if r < 2 {
+			under2++
+		}
+	}
+	if len(ratios) == 0 {
+		fmt.Fprintln(os.Stderr, "no utilized links")
+		os.Exit(1)
+	}
+	fmt.Printf("per-link 90th/10th utilization ratio (paper Figure 1 statistic):\n")
+	fmt.Printf("  > 5 for %d%% of links (paper: >10%%)\n", 100*over5/len(ratios))
+	fmt.Printf("  < 2 for %d%% of links (paper: ~70%%)\n", 100*under2/len(ratios))
+	med, _ := stats.Percentile(ratios, 50)
+	fmt.Printf("  median ratio %.2f\n", med)
+
+	// Per-link z_e vs y_e (Figure 5 inputs).
+	var zs, ys []float64
+	for _, s := range usage {
+		if stats.Mean(s) == 0 {
+			continue
+		}
+		k := len(s) / 10
+		if k < 1 {
+			k = 1
+		}
+		z, _ := stats.TopKMean(s, k)
+		y, _ := stats.Percentile(s, 95)
+		zs = append(zs, z)
+		ys = append(ys, y)
+	}
+	if lr, err := stats.LinearRegression(ys, zs); err == nil {
+		fmt.Printf("top-10%% mean vs 95th percentile: slope %.3f, R² %.3f over %d links\n",
+			lr.Slope, lr.R2, len(zs))
+	}
+}

@@ -1,0 +1,72 @@
+package pretium_test
+
+import (
+	"fmt"
+
+	"pretium"
+)
+
+// ExampleQuoteMenu shows the §4.1 quoting primitive: the same request
+// quoted against an idle network yields a convex price menu whose
+// guarantee cap is the reachable capacity within the deadline.
+func ExampleQuoteMenu() {
+	net, ids := pretium.FourNodeExample() // A->B, A->C, C->D; capacity 2/step
+	st := pretium.NewPriceState(net, 2, 1)
+
+	req := &pretium.Request{
+		ID: 0, Src: ids["A"], Dst: ids["D"],
+		Routes: []pretium.Path{net.ShortestPath(ids["A"], ids["D"])},
+		Start:  0, End: 1, Demand: 10, Value: 5,
+	}
+	menu := pretium.QuoteMenu(st, req, req.Demand)
+	fmt.Printf("guarantee cap: %.0f bytes\n", menu.Cap())
+	fmt.Printf("price for 2 bytes: %.1f\n", menu.Price(2))
+	// Output:
+	// guarantee cap: 4 bytes
+	// price for 2 bytes: 4.0
+}
+
+// ExampleNewController runs the full pipeline end to end on a tiny
+// deterministic workload.
+func ExampleNewController() {
+	net, ids := pretium.FourNodeExample()
+	reqs := []*pretium.Request{{
+		ID: 0, Src: ids["A"], Dst: ids["B"],
+		Routes:  []pretium.Path{net.ShortestPath(ids["A"], ids["B"])},
+		Arrival: 0, Start: 0, End: 1, Demand: 4, Value: 3,
+	}}
+	cfg := pretium.DefaultConfig(2)
+	cfg.Cost = pretium.DefaultCostConfig(2)
+	cfg.PriceWindow = 2
+	cfg.InitialPrice = 0.5
+
+	ctl, err := pretium.NewController(net, reqs, cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	out, err := ctl.Run()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rep, err := pretium.Evaluate(net, reqs, out, cfg.Cost)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("delivered %.0f of 4 bytes, welfare %.0f\n", out.Delivered[0], rep.Welfare)
+	// Output:
+	// delivered 4 of 4 bytes, welfare 12
+}
+
+// ExampleGenerateWAN builds the deterministic synthetic topology.
+func ExampleGenerateWAN() {
+	cfg := pretium.DefaultWANConfig()
+	cfg.Regions = 2
+	cfg.NodesPerRegion = 2
+	net := pretium.GenerateWAN(cfg)
+	fmt.Printf("%d datacenters, %d links\n", net.NumNodes(), net.NumEdges())
+	// Output:
+	// 4 datacenters, 12 links
+}

@@ -1,0 +1,62 @@
+// Faults demonstrates §4.4 robustness: mid-run a link loses most of its
+// capacity. When the fault is announced at onset, the schedule adjustment
+// module respreads traffic over other paths and later timesteps and the
+// guarantees survive; when the fault stays silent, planned transfers are
+// physically shed and the broken promises are accounted as reneged bytes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pretium"
+	"pretium/internal/core"
+	"pretium/internal/exp"
+)
+
+func main() {
+	s := exp.NewSetup(exp.Small())
+	faultEdge := pretium.EdgeID(0)
+	day := exp.Small().StepsPerDay
+
+	run := func(name string, faults []core.Fault) {
+		cfg := s.PretiumConfig()
+		cfg.Faults = faults
+		ctl, err := core.New(s.Net, cloneReqs(s.Requests), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := ctl.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := pretium.Evaluate(s.Net, s.Requests, out, s.Cost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s welfare=%8.1f completion=%4.0f%% reneged=%7.2f bytes\n",
+			name, rep.Welfare, rep.CompletionFrac*100, rep.RenegedBytes)
+	}
+
+	fmt.Printf("fault: link %d loses 80%% of capacity for half a day mid-run\n\n", faultEdge)
+	run("no fault", nil)
+	run("announced at onset", []core.Fault{
+		{Edge: faultEdge, From: day / 2, To: day, Factor: 0.2},
+	})
+	run("silent (never known)", []core.Fault{
+		{Edge: faultEdge, From: day / 2, To: day, Factor: 0.2, Announce: 1 << 30},
+	})
+
+	fmt.Println("\nAnnounced faults let SAM respread load (small welfare dip, promises")
+	fmt.Println("kept); silent faults physically shed planned transfers, and every")
+	fmt.Println("broken guarantee shows up in the reneged-bytes accounting.")
+}
+
+func cloneReqs(reqs []*pretium.Request) []*pretium.Request {
+	out := make([]*pretium.Request, len(reqs))
+	for i, r := range reqs {
+		cp := *r
+		out[i] = &cp
+	}
+	return out
+}

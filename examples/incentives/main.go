@@ -1,0 +1,31 @@
+// Incentives replays the §5 deviation experiment: sampled admitted
+// customers re-run the entire market with a misreported deadline, and we
+// measure whether lying ever paid. The paper's empirical claim is that
+// fewer than 26% of requests can gain at all, with mean gains under 6%.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pretium/internal/exp"
+)
+
+func main() {
+	fmt.Println("Replaying full Pretium simulations with single-request deadline misreports…")
+	res, err := exp.Incentives(exp.Small(), 6, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, row := range res.Rows() {
+		fmt.Println(row.Fmt())
+	}
+	fmt.Println()
+	fmt.Println(res.String())
+	fmt.Println()
+	fmt.Println("Interpretation: a later reported deadline can lower the quoted price,")
+	fmt.Println("but the transfer may then finish after the customer's true deadline —")
+	fmt.Println("and bytes are paid for either way. Tighter misreports never help")
+	fmt.Println("(they only shrink the set of (route,time) pairs the quote minimizes over).")
+}

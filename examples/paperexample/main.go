@@ -1,0 +1,23 @@
+// Paperexample reproduces the worked example of the paper's Figure 2: a
+// four-node network with four competing requests, showing how per-link,
+// per-time, and finally Pretium's per-(link,time) prices change the
+// schedule and the achieved social welfare (the optimum is 34).
+package main
+
+import (
+	"fmt"
+
+	"pretium/internal/exp"
+)
+
+func main() {
+	fmt.Println("Figure 2 worked example: A->B capacity 2, A->C->D capacity 2/hop, two timesteps")
+	fmt.Println("R1: A->B v=8 d=2 by t0 | R2: A->B v=4 d=2 by t1 | R3: A->D v=4 d=2 by t0 | R4: C->D v=1 d=4 by t1")
+	fmt.Println()
+	for _, row := range exp.Figure2() {
+		fmt.Println(row.Fmt())
+	}
+	fmt.Println()
+	fmt.Println("Pretium's (link,time) prices — (A,B): 8 then 4, (C,D): 4 then 1 — admit")
+	fmt.Println("exactly the welfare-optimal schedule through the real menu machinery.")
+}

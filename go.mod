@@ -1,0 +1,3 @@
+module pretium
+
+go 1.22

@@ -1,0 +1,684 @@
+// Package core is Pretium itself: the controller that wires the three
+// modules of Figure 3 — the request admission interface (RA), the
+// schedule adjustment module (SAM), and the price computer (PC) — around
+// the shared network state, and drives them over the simulation clock.
+//
+// Per timestep the controller (1) refreshes internal prices at window
+// boundaries via the PC, (2) admits arriving requests with menu quotes,
+// (3) re-optimizes the forward schedule with SAM, and (4) realizes the
+// current step's planned transfers. Ablation flags reproduce the paper's
+// Pretium-NoMenu and Pretium-NoSAM variants (Figure 11).
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pretium/internal/cost"
+	"pretium/internal/graph"
+	"pretium/internal/lp"
+	"pretium/internal/pricing"
+	"pretium/internal/sched"
+	"pretium/internal/sim"
+	"pretium/internal/traffic"
+)
+
+// Config parameterizes a Pretium deployment.
+type Config struct {
+	// Horizon is the number of timesteps simulated.
+	Horizon int
+	// Cost is the percentile-charging rule (shared with accounting).
+	Cost cost.Config
+	// PriceWindow is W: steps between price recomputations (§4.3).
+	PriceWindow int
+	// PCHistoryWindows is how many windows of history feed the offline
+	// pricing LP (the paper allows the period T to exceed W to reduce
+	// boundary distortion).
+	PCHistoryWindows int
+	// InitialPrice seeds P_{e,t} before any history exists.
+	InitialPrice float64
+	// MinPrice floors recomputed prices.
+	MinPrice float64
+	// HighPriFraction of each link is set aside for high-pri traffic.
+	HighPriFraction float64
+	// HighPriEstimate, when non-nil, replaces the uniform fraction with
+	// an explicit per-(edge, step) set-aside — typically produced by
+	// pricing.EstimateHighPriSetAside from historical high-pri usage
+	// (§4.4). Indexed [edge][step] over the horizon.
+	HighPriEstimate [][]float64
+	// HighPriActual, when non-nil, is the high-pri traffic that actually
+	// materializes: it physically consumes link capacity whether or not
+	// the estimate covered it, so an underestimate squeezes scheduled
+	// transfers exactly like an unannounced fault.
+	HighPriActual [][]float64
+	// EnableSAM switches schedule adjustment (off = Pretium-NoSAM).
+	EnableSAM bool
+	// EnableMenu switches menu purchases (off = Pretium-NoMenu:
+	// customers buy all-or-nothing).
+	EnableMenu bool
+	// EnablePC switches dynamic price recomputation.
+	EnablePC bool
+	// SAMEvery runs SAM every k timesteps (1 = every step, as the paper
+	// recommends).
+	SAMEvery int
+	// Adjust is the short-term price adjustment rule.
+	Adjust pricing.AdjustConfig
+	// CustomerRateCap bounds the bandwidth any single request may hold
+	// per timestep (0 = unlimited) — the §4.4 fairness lever against
+	// elephant transfers crowding out everyone else. Purchases are
+	// capped at CustomerRateCap x window and SAM enforces the per-step
+	// cap exactly.
+	CustomerRateCap float64
+	// Purchase overrides the customer decision rule. Given the quoted
+	// menu and the request, it returns the bytes bought. Nil applies
+	// Theorem 5.2's linear-utility rule (or all-or-nothing when
+	// EnableMenu is false). Custom rules model the nonlinear utilities
+	// discussed in §4.4 — e.g. all-or-nothing transfers or concave
+	// value — without touching the quoting machinery.
+	Purchase func(menu *pricing.Menu, req *traffic.Request) float64
+	// Faults injects capacity losses for robustness experiments (§4.4):
+	// from its Announce step onward the planner sees the reduced
+	// capacity and SAM respreads load; physically the reduction holds
+	// over [From, To] regardless, so unannounced faults clamp realized
+	// transfers.
+	Faults []Fault
+	// Solver bounds each LP solve.
+	Solver lp.Options
+}
+
+// Fault is one injected capacity loss: edge capacity is multiplied by
+// Factor during steps [From, To] (inclusive). The planner learns of it at
+// Announce (0 value means at From, i.e. detected at onset).
+type Fault struct {
+	Edge     graph.EdgeID
+	From, To int
+	Factor   float64
+	Announce int
+}
+
+// DefaultConfig returns the full Pretium configuration over the given
+// horizon with daily (24-step) pricing and charging windows.
+func DefaultConfig(horizon int) Config {
+	return Config{
+		Horizon:          horizon,
+		Cost:             cost.DefaultConfig(24),
+		PriceWindow:      24,
+		PCHistoryWindows: 1,
+		InitialPrice:     0.5,
+		MinPrice:         0.05,
+		HighPriFraction:  0,
+		EnableSAM:        true,
+		EnableMenu:       true,
+		EnablePC:         true,
+		SAMEvery:         1,
+		Adjust:           pricing.DefaultAdjust(),
+	}
+}
+
+// Timings collects per-module runtimes (Table 4).
+type Timings struct {
+	RA, SAM, PC []time.Duration
+}
+
+// admState tracks one admitted (sub)request through its lifetime.
+type admState struct {
+	adm       *pricing.Admission
+	reqIdx    int
+	start     int // allowed window (absolute steps)
+	end       int
+	delivered float64
+	plan      []pricing.ReservedAlloc // forward plan, absolute times
+}
+
+func (a *admState) remaining() float64 { return a.adm.Bought - a.delivered }
+func (a *admState) guaranteeLeft() float64 {
+	g := a.adm.Guaranteed - a.delivered
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// Controller runs Pretium over a request stream.
+type Controller struct {
+	cfg     Config
+	net     *graph.Network
+	state   *pricing.State
+	reqs    []*traffic.Request
+	active  []*admState
+	outcome *sim.Outcome
+	history []pricing.HistoryEntry
+	// PriceTrace[e][t] records the base price in effect at step t
+	// (Figure 7a plots this against utilization).
+	PriceTrace [][]float64
+	// Admitted[i] reports whether request i was admitted, and
+	// AdmissionPrice[i] the per-byte marginal price it accepted
+	// (Figure 7c plots price vs value).
+	Admitted       []bool
+	AdmissionPrice []float64
+	Timings        Timings
+	// trueCap is the physical per-(edge,step) capacity including faults,
+	// whether announced or not.
+	trueCap [][]float64
+}
+
+// New creates a controller for the request stream. Requests must be
+// sorted by arrival and validated against the network.
+func New(net *graph.Network, reqs []*traffic.Request, cfg Config) (*Controller, error) {
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("core: horizon must be positive")
+	}
+	if cfg.SAMEvery <= 0 {
+		cfg.SAMEvery = 1
+	}
+	if cfg.PriceWindow <= 0 {
+		cfg.PriceWindow = cfg.Horizon
+	}
+	if cfg.PCHistoryWindows <= 0 {
+		cfg.PCHistoryWindows = 1
+	}
+	for _, r := range reqs {
+		if err := r.Validate(net); err != nil {
+			return nil, err
+		}
+	}
+	st := pricing.NewState(net, cfg.Horizon, cfg.InitialPrice)
+	st.Adjust = cfg.Adjust
+	// Usage-priced links start at the initial price plus their
+	// *amortized* percentile charge C_e/W (the break-even rate under
+	// flat load) rather than NewState's conservative full C_e, so day
+	// one is neither free-riding nor prohibitive.
+	w := cfg.Cost.WindowLen
+	if w <= 0 {
+		w = cfg.Horizon
+	}
+	for _, e := range net.Edges() {
+		if !e.UsagePriced {
+			continue
+		}
+		p := cfg.InitialPrice + e.CostPerUnit/float64(w)
+		for t := 0; t < cfg.Horizon; t++ {
+			st.BasePrice[e.ID][t] = p
+		}
+	}
+	if cfg.HighPriFraction > 0 {
+		st.SetHighPriFraction(cfg.HighPriFraction)
+	}
+	if cfg.HighPriEstimate != nil {
+		if err := st.SetHighPriMatrix(cfg.HighPriEstimate); err != nil {
+			return nil, err
+		}
+	}
+	c := &Controller{
+		cfg:            cfg,
+		net:            net,
+		state:          st,
+		reqs:           reqs,
+		outcome:        sim.NewOutcome(len(reqs), net, cfg.Horizon),
+		Admitted:       make([]bool, len(reqs)),
+		AdmissionPrice: make([]float64, len(reqs)),
+		PriceTrace:     make([][]float64, net.NumEdges()),
+	}
+	for e := range c.PriceTrace {
+		c.PriceTrace[e] = make([]float64, cfg.Horizon)
+	}
+	// Physical capacity available to scheduled traffic, faults included
+	// (what `realize` clamps against, known or not). When actual
+	// high-pri usage is given it drains physical capacity directly;
+	// otherwise the planner's set-aside is assumed exactly consumed.
+	if cfg.HighPriActual != nil && len(cfg.HighPriActual) != net.NumEdges() {
+		return nil, fmt.Errorf("core: HighPriActual has %d edges, want %d", len(cfg.HighPriActual), net.NumEdges())
+	}
+	c.trueCap = make([][]float64, net.NumEdges())
+	for _, e := range net.Edges() {
+		c.trueCap[e.ID] = make([]float64, cfg.Horizon)
+		for t := 0; t < cfg.Horizon; t++ {
+			if cfg.HighPriActual != nil {
+				phys := e.Capacity - cfg.HighPriActual[e.ID][t]
+				if phys < 0 {
+					phys = 0
+				}
+				c.trueCap[e.ID][t] = phys
+			} else {
+				c.trueCap[e.ID][t] = st.Capacity(e.ID, t)
+			}
+		}
+	}
+	for i := range cfg.Faults {
+		f := &c.cfg.Faults[i]
+		if f.Factor < 0 || f.Factor > 1 {
+			return nil, fmt.Errorf("core: fault %d factor %v outside [0,1]", i, f.Factor)
+		}
+		if f.Announce == 0 || f.Announce < f.From {
+			f.Announce = f.From
+		}
+		for t := f.From; t <= f.To && t < cfg.Horizon; t++ {
+			if t < 0 {
+				continue
+			}
+			c.trueCap[f.Edge][t] *= f.Factor
+		}
+	}
+	return c, nil
+}
+
+// announceFaults folds every fault announced at step t into the planning
+// state: the lost share of capacity becomes a high-pri set-aside, which
+// both RA quotes and SAM capacities respect from now on.
+func (c *Controller) announceFaults(t int) {
+	for _, f := range c.cfg.Faults {
+		if f.Announce != t {
+			continue
+		}
+		cap := c.net.Edge(f.Edge).Capacity
+		for tt := f.From; tt <= f.To && tt < c.cfg.Horizon; tt++ {
+			if tt < t {
+				continue
+			}
+			loss := cap * (1 - f.Factor)
+			c.state.HighPri[f.Edge][tt] += loss
+		}
+	}
+}
+
+// State exposes the live network state (read-mostly; used by experiments
+// that inspect prices).
+func (c *Controller) State() *pricing.State { return c.state }
+
+// Run executes the full simulation and returns the realized outcome.
+func (c *Controller) Run() (*sim.Outcome, error) {
+	byArrival := make(map[int][]*traffic.Request)
+	for _, r := range c.reqs {
+		byArrival[r.Arrival] = append(byArrival[r.Arrival], r)
+	}
+	for t := 0; t < c.cfg.Horizon; t++ {
+		c.announceFaults(t)
+		if c.cfg.EnablePC && t > 0 && t%c.cfg.PriceWindow == 0 {
+			c.runPC(t)
+		}
+		for e := range c.PriceTrace {
+			c.PriceTrace[e][t] = c.state.BasePrice[e][t]
+		}
+		for _, r := range byArrival[t] {
+			c.admit(r)
+		}
+		if c.cfg.EnableSAM && t%c.cfg.SAMEvery == 0 {
+			if err := c.runSAM(t); err != nil {
+				return nil, err
+			}
+		}
+		c.realize(t)
+	}
+	c.finalize()
+	return c.outcome, nil
+}
+
+// admit runs the RA interface for one arriving request.
+func (c *Controller) admit(r *traffic.Request) {
+	started := time.Now()
+	defer func() { c.Timings.RA = append(c.Timings.RA, time.Since(started)) }()
+
+	if r.Kind == traffic.RateRequest {
+		c.admitRate(r)
+		return
+	}
+	if r.Kind == traffic.ScavengerRequest {
+		c.admitScavenger(r)
+		return
+	}
+	// Fairness cap (§4.4): a single request may not hold more than
+	// CustomerRateCap bandwidth per step, so its purchase is bounded by
+	// cap x window (SAM enforces the per-step cap exactly).
+	maxBuy := r.Demand
+	if c.cfg.CustomerRateCap > 0 {
+		if lim := c.cfg.CustomerRateCap * float64(r.Window()); lim < maxBuy {
+			maxBuy = lim
+		}
+	}
+	var adm *pricing.Admission
+	switch {
+	case c.cfg.Purchase != nil:
+		menu := pricing.QuoteMenu(c.state, r, maxBuy)
+		bought := c.cfg.Purchase(menu, r)
+		if bought > maxBuy {
+			bought = maxBuy
+		}
+		adm = pricing.Commit(c.state, r, menu, bought)
+	case c.cfg.EnableMenu:
+		menu := pricing.QuoteMenu(c.state, r, maxBuy)
+		adm = pricing.Commit(c.state, r, menu, menu.Purchase(r.Value, maxBuy))
+	default:
+		// NoMenu ablation: all-or-nothing — take the full demand iff it
+		// is fully guaranteeable and worth it in aggregate.
+		menu := pricing.QuoteMenu(c.state, r, r.Demand)
+		if menu.Cap() >= r.Demand-1e-9 && menu.Price(r.Demand) <= r.Value*r.Demand {
+			adm = pricing.Commit(c.state, r, menu, r.Demand)
+		}
+	}
+	if adm == nil {
+		return
+	}
+	idx := c.reqIndex(r)
+	c.Admitted[idx] = true
+	c.AdmissionPrice[idx] = adm.Lambda
+	c.active = append(c.active, &admState{
+		adm: adm, reqIdx: idx, start: r.Start, end: r.End,
+		plan: append([]pricing.ReservedAlloc(nil), adm.Allocs...),
+	})
+	c.history = append(c.history, pricing.HistoryEntry{
+		Routes: r.Routes, Start: r.Start, End: r.End,
+		Bytes: adm.Bought, Lambda: adm.Lambda,
+	})
+}
+
+// admitRate expands a rate request into per-timestep quotes (§4.4): each
+// step is priced separately, the bundle is bought if the total price is
+// within the customer's value, and each step becomes its own guarantee.
+func (c *Controller) admitRate(r *traffic.Request) {
+	type stepQuote struct {
+		t    int
+		menu *pricing.Menu
+	}
+	var quotes []stepQuote
+	rate := r.Rate
+	total := 0.0
+	feasibleRate := rate
+	for t := r.Start; t <= r.End && t < c.cfg.Horizon; t++ {
+		stepReq := *r
+		stepReq.Start, stepReq.End = t, t
+		stepReq.Demand = rate
+		menu := pricing.QuoteMenu(c.state, &stepReq, rate)
+		if menu.Cap() < feasibleRate {
+			feasibleRate = menu.Cap()
+		}
+		quotes = append(quotes, stepQuote{t: t, menu: menu})
+	}
+	if feasibleRate <= 1e-9 || len(quotes) == 0 {
+		return
+	}
+	for _, q := range quotes {
+		total += q.menu.Price(feasibleRate)
+	}
+	bytes := feasibleRate * float64(len(quotes))
+	if total > r.Value*bytes {
+		return // bundle not worth it
+	}
+	idx := c.reqIndex(r)
+	c.Admitted[idx] = true
+	c.AdmissionPrice[idx] = total / bytes
+	for _, q := range quotes {
+		stepReq := *r
+		stepReq.Start, stepReq.End = q.t, q.t
+		stepReq.Demand = feasibleRate
+		adm := pricing.Commit(c.state, &stepReq, q.menu, feasibleRate)
+		if adm == nil {
+			continue
+		}
+		c.active = append(c.active, &admState{
+			adm: adm, reqIdx: idx, start: q.t, end: q.t,
+			plan: append([]pricing.ReservedAlloc(nil), adm.Allocs...),
+		})
+		c.history = append(c.history, pricing.HistoryEntry{
+			Routes: r.Routes, Start: q.t, End: q.t,
+			Bytes: feasibleRate, Lambda: adm.Lambda,
+		})
+	}
+}
+
+// admitScavenger enrolls a best-effort request (§4.4): no quote, no
+// reservation, no guarantee. The customer's named per-byte price becomes
+// the value proxy λ, so SAM schedules scavenger bytes exactly when they
+// beat the marginal percentile-cost burden of residual capacity. Without
+// SAM enabled the scavenger class is inert, as there is no plan to ride.
+func (c *Controller) admitScavenger(r *traffic.Request) {
+	idx := c.reqIndex(r)
+	c.Admitted[idx] = true
+	c.AdmissionPrice[idx] = r.Value
+	c.active = append(c.active, &admState{
+		adm: &pricing.Admission{
+			Request: r,
+			Bought:  r.Demand,
+			Lambda:  r.Value,
+		},
+		reqIdx: idx, start: r.Start, end: r.End,
+	})
+	c.history = append(c.history, pricing.HistoryEntry{
+		Routes: r.Routes, Start: r.Start, End: r.End,
+		Bytes: r.Demand, Lambda: r.Value,
+	})
+}
+
+func (c *Controller) reqIndex(r *traffic.Request) int {
+	// Request IDs are stream indices by construction of the generators;
+	// fall back to a scan when they are not.
+	if r.ID >= 0 && r.ID < len(c.reqs) && c.reqs[r.ID] == r {
+		return r.ID
+	}
+	for i, q := range c.reqs {
+		if q == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// runSAM re-optimizes the forward schedule from step t (Eq. 2).
+func (c *Controller) runSAM(t int) error {
+	started := time.Now()
+	defer func() { c.Timings.SAM = append(c.Timings.SAM, time.Since(started)) }()
+
+	var live []*admState
+	maxEnd := t
+	for _, a := range c.active {
+		if a.end < t || a.remaining() <= 1e-9 {
+			continue
+		}
+		live = append(live, a)
+		if a.end > maxEnd {
+			maxEnd = a.end
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	horizon := maxEnd + 1
+	if horizon > c.cfg.Horizon {
+		horizon = c.cfg.Horizon
+	}
+	capacity := make([][]float64, c.net.NumEdges())
+	fixed := make([][]float64, c.net.NumEdges())
+	for e := range capacity {
+		capacity[e] = make([]float64, horizon)
+		fixed[e] = make([]float64, horizon)
+		for tt := 0; tt < horizon; tt++ {
+			capacity[e][tt] = c.state.Capacity(graph.EdgeID(e), tt)
+			if tt < t {
+				fixed[e][tt] = c.outcome.Usage[e][tt]
+			}
+		}
+	}
+	demands := make([]sched.Demand, len(live))
+	for i, a := range live {
+		demands[i] = sched.Demand{
+			ID:           i,
+			Routes:       a.adm.Request.Routes,
+			Start:        a.start,
+			End:          a.end,
+			MaxBytes:     a.remaining(),
+			MinBytes:     a.guaranteeLeft(),
+			ValuePerByte: a.adm.Lambda,
+			RateCap:      c.cfg.CustomerRateCap,
+		}
+	}
+	ins := &sched.Instance{
+		Net: c.net, Horizon: horizon, StartStep: t,
+		Capacity: capacity, FixedUsage: fixed,
+		Demands: demands, Cost: c.cfg.Cost, UseCostProxy: true,
+	}
+	res, err := ins.Solve(c.cfg.Solver)
+	if err != nil {
+		return err
+	}
+	if res.Status != lp.Optimal {
+		// Guarantees no longer jointly schedulable (e.g. after capacity
+		// shocks); relax them and do best effort, counting reneges at
+		// the end.
+		for i := range ins.Demands {
+			ins.Demands[i].MinBytes = 0
+		}
+		res, err = ins.Solve(c.cfg.Solver)
+		if err != nil {
+			return err
+		}
+		if res.Status != lp.Optimal {
+			return fmt.Errorf("core: SAM LP %v at t=%d", res.Status, t)
+		}
+	}
+	// Replace forward plans and reservations with SAM's schedule.
+	for _, a := range live {
+		a.plan = a.plan[:0]
+	}
+	reserved := make([][]float64, c.net.NumEdges())
+	for e := range reserved {
+		reserved[e] = make([]float64, c.cfg.Horizon)
+	}
+	for _, al := range res.Allocs {
+		a := live[al.DemandIdx]
+		a.plan = append(a.plan, pricing.ReservedAlloc{RouteIdx: al.RouteIdx, Time: al.Time, Bytes: al.Bytes})
+		if al.Time > t { // step t is realized immediately, not re-reserved
+			for _, e := range a.adm.Request.Routes[al.RouteIdx] {
+				reserved[e][al.Time] += al.Bytes
+			}
+		}
+	}
+	return c.state.SetReserved(reserved)
+}
+
+// realize executes every plan entry scheduled for step t, clamped to the
+// physical capacity — which can be below what the plan assumed when a
+// fault has struck but not yet been announced to the planner. Overloaded
+// links shed load proportionally, like a router dropping excess traffic.
+func (c *Controller) realize(t int) {
+	type intent struct {
+		a     *admState
+		route graph.Path
+		bytes float64
+	}
+	var intents []intent
+	load := make(map[graph.EdgeID]float64)
+	for _, a := range c.active {
+		for _, al := range a.plan {
+			if al.Time != t {
+				continue
+			}
+			take := math.Min(al.Bytes, a.remaining())
+			if take <= 1e-12 {
+				continue
+			}
+			route := a.adm.Request.Routes[al.RouteIdx]
+			intents = append(intents, intent{a: a, route: route, bytes: take})
+			for _, e := range route {
+				load[e] += take
+			}
+		}
+	}
+	scale := make(map[graph.EdgeID]float64, len(load))
+	for e, l := range load {
+		cap := c.trueCap[e][t]
+		if l > cap {
+			if cap < 0 {
+				cap = 0
+			}
+			scale[e] = cap / l
+		}
+	}
+	for _, in := range intents {
+		f := 1.0
+		for _, e := range in.route {
+			if s, ok := scale[e]; ok && s < f {
+				f = s
+			}
+		}
+		take := in.bytes * f
+		if take <= 1e-12 {
+			continue
+		}
+		in.a.delivered += take
+		c.outcome.Delivered[in.a.reqIdx] += take
+		c.outcome.Events = append(c.outcome.Events, sim.DeliveryEvent{Req: in.a.reqIdx, Time: t, Bytes: take})
+		for _, e := range in.route {
+			c.outcome.Usage[e][t] += take
+		}
+	}
+}
+
+// runPC recomputes prices at a window boundary t using the preceding
+// history period (§4.3).
+func (c *Controller) runPC(t int) {
+	started := time.Now()
+	defer func() { c.Timings.PC = append(c.Timings.PC, time.Since(started)) }()
+
+	w := c.cfg.PriceWindow
+	period := c.cfg.PCHistoryWindows * w
+	if period > t {
+		period = t
+	}
+	if period < w {
+		return // not enough history yet
+	}
+	from := t - period
+	var entries []pricing.HistoryEntry
+	for _, h := range c.history {
+		if h.End < from || h.Start >= t {
+			continue
+		}
+		e := h
+		e.Start -= from
+		e.End -= from
+		if e.Start < 0 {
+			e.Start = 0
+		}
+		if e.End > period-1 {
+			e.End = period - 1
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return
+	}
+	capacity := make([][]float64, c.net.NumEdges())
+	for e := range capacity {
+		capacity[e] = make([]float64, period)
+		for i := 0; i < period; i++ {
+			capacity[e][i] = c.state.Capacity(graph.EdgeID(e), from+i)
+		}
+	}
+	window, err := pricing.ComputePrices(c.net, entries, capacity, period, period-w,
+		pricing.ComputerConfig{
+			WindowLen: w, Cost: c.cfg.Cost,
+			MinPrice: c.cfg.MinPrice, CostFloorFrac: 1,
+			Solver: c.cfg.Solver,
+		})
+	if err != nil {
+		return // keep the old prices on solver trouble
+	}
+	_ = c.state.SetPricesWindow(t, window)
+}
+
+// finalize computes payments and renege accounting. Menu-admitted
+// requests pay the menu price of their delivered bytes; scavenger
+// requests (no menu) pay their named per-byte price.
+func (c *Controller) finalize() {
+	for _, a := range c.active {
+		charged := math.Min(a.delivered, a.adm.Bought)
+		if a.adm.Menu != nil {
+			c.outcome.Payments[a.reqIdx] += a.adm.Menu.Price(charged)
+		} else {
+			c.outcome.Payments[a.reqIdx] += a.adm.Lambda * charged
+		}
+		if short := a.adm.Guaranteed - a.delivered; short > 1e-9 {
+			c.outcome.Reneged[a.reqIdx] += short
+		}
+	}
+}

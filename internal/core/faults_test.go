@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pretium/internal/graph"
+	"pretium/internal/sim"
+	"pretium/internal/traffic"
+)
+
+func TestScavengerRidesResidualCapacity(t *testing.T) {
+	// A scavenger request on an idle network gets its bytes; its payment
+	// is the named price per delivered byte.
+	n, a, b := simpleNet()
+	req := mkReq(n, 0, a, b, 0, 0, 2, 12, 0.5)
+	req.Kind = traffic.ScavengerRequest
+	c, err := New(n, []*traffic.Request{req}, smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Delivered[0]-12) > 1e-6 {
+		t.Errorf("scavenger delivered %v, want 12", out.Delivered[0])
+	}
+	if math.Abs(out.Payments[0]-0.5*12) > 1e-6 {
+		t.Errorf("scavenger paid %v, want 6", out.Payments[0])
+	}
+	if out.Reneged[0] != 0 {
+		t.Errorf("scavenger has no guarantee to renege on: %v", out.Reneged[0])
+	}
+}
+
+func TestScavengerYieldsToGuaranteed(t *testing.T) {
+	// Guaranteed traffic fills the link; a low-priced scavenger gets
+	// only what's left (here: nothing at the contested step).
+	n, a, b := simpleNet()
+	guaranteed := mkReq(n, 0, a, b, 0, 0, 0, 10, 5)
+	scav := mkReq(n, 1, a, b, 0, 0, 0, 10, 0.01)
+	scav.Kind = traffic.ScavengerRequest
+	c, err := New(n, []*traffic.Request{guaranteed, scav}, smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Delivered[0]-10) > 1e-6 {
+		t.Errorf("guaranteed delivered %v, want 10", out.Delivered[0])
+	}
+	if out.Delivered[1] > 1e-6 {
+		t.Errorf("scavenger delivered %v on a full link", out.Delivered[1])
+	}
+	if err := sim.CheckCapacities(n, out.Usage, 1e-6); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScavengerInertWithoutSAM(t *testing.T) {
+	n, a, b := simpleNet()
+	req := mkReq(n, 0, a, b, 0, 0, 2, 12, 0.5)
+	req.Kind = traffic.ScavengerRequest
+	cfg := smallConfig(3)
+	cfg.EnableSAM = false
+	c, err := New(n, []*traffic.Request{req}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Delivered[0] != 0 {
+		t.Errorf("scavenger delivered %v without SAM", out.Delivered[0])
+	}
+}
+
+func TestAnnouncedFaultRespreadsLoad(t *testing.T) {
+	// Request window [0,3]; the single link loses 100% of capacity at
+	// steps 1-2, announced at onset. SAM must route everything through
+	// steps 0 and 3 and keep the guarantee.
+	n, a, b := simpleNet()
+	req := mkReq(n, 0, a, b, 0, 0, 3, 20, 5)
+	cfg := smallConfig(4)
+	cfg.Faults = []Fault{{Edge: 0, From: 1, To: 2, Factor: 0}}
+	c, err := New(n, []*traffic.Request{req}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Delivered[0]-20) > 1e-6 {
+		t.Errorf("delivered %v, want 20 despite fault", out.Delivered[0])
+	}
+	if out.Usage[0][1] > 1e-9 || out.Usage[0][2] > 1e-9 {
+		t.Errorf("traffic crossed a dead link: %v", out.Usage[0])
+	}
+	if out.Reneged[0] > 1e-9 {
+		t.Errorf("reneged %v", out.Reneged[0])
+	}
+}
+
+func TestUnannouncedFaultDropsThenRecovers(t *testing.T) {
+	// The fault at step 1 is announced only at step 2: the step-1 plan
+	// physically cannot ship, but SAM recovers the loss in steps 2-3.
+	n, a, b := simpleNet()
+	req := mkReq(n, 0, a, b, 0, 0, 3, 20, 5)
+	cfg := smallConfig(4)
+	cfg.Faults = []Fault{{Edge: 0, From: 1, To: 1, Factor: 0, Announce: 2}}
+	c, err := New(n, []*traffic.Request{req}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Usage[0][1] > 1e-9 {
+		t.Errorf("bytes shipped over a physically dead link at step 1: %v", out.Usage[0][1])
+	}
+	if math.Abs(out.Delivered[0]-20) > 1e-6 {
+		t.Errorf("delivered %v, want 20 (recovered after announcement)", out.Delivered[0])
+	}
+}
+
+func TestPartialFaultScalesProportionally(t *testing.T) {
+	// Two requests plan 5+5 on a 10-capacity step that silently halves:
+	// both should ship ~2.5 at that step.
+	n, a, b := simpleNet()
+	reqs := []*traffic.Request{
+		mkReq(n, 0, a, b, 0, 0, 0, 5, 5),
+		mkReq(n, 1, a, b, 0, 0, 0, 5, 5),
+	}
+	cfg := smallConfig(1)
+	// Announce after the horizon = never announced.
+	cfg.Faults = []Fault{{Edge: 0, From: 0, To: 0, Factor: 0.5, Announce: 1}}
+	c, err := New(n, reqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := out.Delivered[0] + out.Delivered[1]
+	if math.Abs(total-5) > 1e-6 {
+		t.Errorf("total delivered %v, want 5 (half the link)", total)
+	}
+	if math.Abs(out.Delivered[0]-out.Delivered[1]) > 1e-6 {
+		t.Errorf("loss not proportional: %v vs %v", out.Delivered[0], out.Delivered[1])
+	}
+	// Guarantees were broken by the silent fault — must be accounted.
+	if out.Reneged[0] < 2.4 || out.Reneged[1] < 2.4 {
+		t.Errorf("reneges not recorded: %v %v", out.Reneged[0], out.Reneged[1])
+	}
+}
+
+func TestFaultValidation(t *testing.T) {
+	n, a, b := simpleNet()
+	reqs := []*traffic.Request{mkReq(n, 0, a, b, 0, 0, 0, 1, 1)}
+	cfg := smallConfig(1)
+	cfg.Faults = []Fault{{Edge: 0, From: 0, To: 0, Factor: 2}}
+	if _, err := New(n, reqs, cfg); err == nil {
+		t.Error("factor > 1 accepted")
+	}
+}
+
+func TestFaultPreservesOtherEdges(t *testing.T) {
+	// Fault on one edge of a diamond: traffic shifts to the other path.
+	net := graph.New()
+	s := net.AddNode("s", "r")
+	x := net.AddNode("x", "r")
+	y := net.AddNode("y", "r")
+	d := net.AddNode("d", "r")
+	sx := net.AddEdge(s, x, 10)
+	net.AddEdge(x, d, 10)
+	net.AddEdge(s, y, 10)
+	net.AddEdge(y, d, 10)
+	routes := net.KShortestPaths(s, d, 2)
+	req := &traffic.Request{ID: 0, Src: s, Dst: d, Routes: routes, Arrival: 0, Start: 0, End: 1, Demand: 16, Value: 5}
+	cfg := smallConfig(2)
+	cfg.Faults = []Fault{{Edge: sx, From: 0, To: 1, Factor: 0}}
+	c, err := New(net, []*traffic.Request{req}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Delivered[0]-16) > 1e-6 {
+		t.Errorf("delivered %v, want 16 via the healthy path", out.Delivered[0])
+	}
+	if out.Usage[sx][0] > 1e-9 || out.Usage[sx][1] > 1e-9 {
+		t.Errorf("traffic on the dead edge: %v", out.Usage[sx])
+	}
+}

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RenderBars draws a horizontal ASCII bar chart of one named column
+// across rows — a terminal rendition of the paper's bar figures. Bars
+// share a linear scale across rows; negative values extend left of the
+// axis. Rows missing the column are skipped.
+func RenderBars(rows []Row, column string, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	type pt struct {
+		label string
+		v     float64
+	}
+	var pts []pt
+	maxAbs := 0.0
+	for _, r := range rows {
+		for _, c := range r.Columns {
+			if c.Name != column {
+				continue
+			}
+			pts = append(pts, pt{label: r.Label, v: c.Value})
+			if a := math.Abs(c.Value); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	if len(pts) == 0 {
+		return ""
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	labelW := 0
+	for _, p := range pts {
+		if len(p.label) > labelW {
+			labelW = len(p.label)
+		}
+	}
+	half := width / 2
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (|max| = %.4g)\n", column, maxAbs)
+	for _, p := range pts {
+		n := int(math.Round(math.Abs(p.v) / maxAbs * float64(half)))
+		if n > half {
+			n = half
+		}
+		var left, right string
+		if p.v < 0 {
+			left = strings.Repeat(" ", half-n) + strings.Repeat("#", n)
+			right = strings.Repeat(" ", half)
+		} else {
+			left = strings.Repeat(" ", half)
+			right = strings.Repeat("#", n) + strings.Repeat(" ", half-n)
+		}
+		fmt.Fprintf(&b, "%-*s %s|%s %9.4g\n", labelW, p.label, left, right, p.v)
+	}
+	return b.String()
+}
+
+// RenderSeries draws a compact sparkline of one named column across rows
+// using eighth-block characters, for dense series like Figure 7a's
+// price-over-time trace. Values are min-max normalized.
+func RenderSeries(rows []Row, column string) string {
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	var vals []float64
+	for _, r := range rows {
+		for _, c := range r.Columns {
+			if c.Name == column {
+				vals = append(vals, c.Value)
+			}
+		}
+	}
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		b.WriteRune(ramp[idx])
+	}
+	return fmt.Sprintf("%s [%.4g..%.4g] %s", column, lo, hi, b.String())
+}

@@ -1,0 +1,269 @@
+// Package lp implements the linear-programming substrate Pretium depends
+// on. The paper builds every module as a linear program and solves it with
+// Gurobi [1]; this package provides the equivalent capability from scratch:
+// a model builder plus a two-phase revised primal simplex that reports both
+// the primal solution and the dual values of every constraint. The duals
+// matter as much as the primal here — the Price Computer (§4.3 of the
+// paper) literally *is* "solve the offline welfare LP and read the duals of
+// the capacity constraints as link prices".
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the relational sense of a constraint row.
+type Sense int8
+
+// Constraint senses.
+const (
+	LE Sense = iota // a·x ≤ b
+	GE              // a·x ≥ b
+	EQ              // a·x = b
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Inf is positive infinity, used for unbounded variable bounds.
+var Inf = math.Inf(1)
+
+// Var identifies a decision variable within a Model.
+type Var int
+
+// Row identifies a constraint within a Model.
+type Row int
+
+// Term is one coefficient of a constraint: Coef * value(Var).
+type Term struct {
+	Var  Var
+	Coef float64
+}
+
+// Model is a linear program under construction. The zero value is not
+// usable; create models with NewModel. Models are not safe for concurrent
+// mutation.
+type Model struct {
+	maximize bool
+
+	// Per-variable data, indexed by Var.
+	obj    []float64
+	lo, up []float64
+	names  []string
+
+	// Per-row data, indexed by Row.
+	rows   [][]Term
+	senses []Sense
+	rhs    []float64
+}
+
+// NewModel returns an empty minimization model. Call SetMaximize to flip
+// the objective direction.
+func NewModel() *Model { return &Model{} }
+
+// SetMaximize selects maximization (true) or minimization (false).
+func (m *Model) SetMaximize(max bool) { m.maximize = max }
+
+// AddVar adds a decision variable with bounds [lo, up] and objective
+// coefficient obj. Use -Inf/Inf for unbounded sides. The name is only for
+// diagnostics. It panics if lo > up, since that is always a programming
+// error in the caller.
+func (m *Model) AddVar(lo, up, obj float64, name string) Var {
+	if lo > up {
+		panic(fmt.Sprintf("lp: variable %q has lo %v > up %v", name, lo, up))
+	}
+	m.obj = append(m.obj, obj)
+	m.lo = append(m.lo, lo)
+	m.up = append(m.up, up)
+	m.names = append(m.names, name)
+	return Var(len(m.obj) - 1)
+}
+
+// NumVars reports the number of variables added so far.
+func (m *Model) NumVars() int { return len(m.obj) }
+
+// NumRows reports the number of constraints added so far.
+func (m *Model) NumRows() int { return len(m.rows) }
+
+// SetObj overwrites the objective coefficient of v. This lets callers
+// reuse one model skeleton across price updates.
+func (m *Model) SetObj(v Var, obj float64) { m.obj[v] = obj }
+
+// VarName returns the diagnostic name of v.
+func (m *Model) VarName(v Var) string { return m.names[v] }
+
+// Bounds returns the bounds of v.
+func (m *Model) Bounds(v Var) (lo, up float64) { return m.lo[v], m.up[v] }
+
+// AddConstraint adds the row terms (sense) rhs and returns its Row id.
+// Duplicate variables within terms are summed. Zero-coefficient terms are
+// dropped.
+func (m *Model) AddConstraint(sense Sense, rhs float64, terms ...Term) Row {
+	merged := mergeTerms(terms)
+	m.rows = append(m.rows, merged)
+	m.senses = append(m.senses, sense)
+	m.rhs = append(m.rhs, rhs)
+	return Row(len(m.rows) - 1)
+}
+
+// mergeTerms sums duplicate variables and drops zeros.
+func mergeTerms(terms []Term) []Term {
+	if len(terms) <= 1 {
+		out := make([]Term, 0, len(terms))
+		for _, t := range terms {
+			if t.Coef != 0 {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	sum := make(map[Var]float64, len(terms))
+	order := make([]Var, 0, len(terms))
+	for _, t := range terms {
+		if _, seen := sum[t.Var]; !seen {
+			order = append(order, t.Var)
+		}
+		sum[t.Var] += t.Coef
+	}
+	out := make([]Term, 0, len(order))
+	for _, v := range order {
+		if c := sum[v]; c != 0 {
+			out = append(out, Term{Var: v, Coef: c})
+		}
+	}
+	return out
+}
+
+// Status is the outcome of a Solve call.
+type Status int8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return "unknown"
+}
+
+// Solution is the result of solving a Model.
+type Solution struct {
+	Status    Status
+	Objective float64
+	// X holds the optimal value of each variable, indexed by Var.
+	X []float64
+	// Dual holds the dual value (shadow price) of each constraint,
+	// indexed by Row, in the *model's* orientation: for a maximization
+	// model with a ≤ capacity row, Dual is the nonnegative marginal
+	// objective gain per unit of extra capacity — exactly the link price
+	// the Price Computer wants.
+	Dual []float64
+	// ReducedCost holds each variable's reduced cost in the model's
+	// orientation: the marginal objective change per unit increase of
+	// the variable from its current value. At an optimum of a
+	// maximization model, a variable resting at its lower bound has
+	// ReducedCost <= 0, one at its upper bound has >= 0, and a basic
+	// (strictly interior) variable has 0 — complementary slackness.
+	ReducedCost []float64
+	// Iterations counts simplex pivots (both phases).
+	Iterations int
+}
+
+// Value evaluates a linear expression under the solution.
+func (s *Solution) Value(terms ...Term) float64 {
+	v := 0.0
+	for _, t := range terms {
+		v += t.Coef * s.X[t.Var]
+	}
+	return v
+}
+
+// Options tunes the solver.
+type Options struct {
+	// MaxIters bounds total pivots; 0 means a generous default derived
+	// from problem size.
+	MaxIters int
+	// Tol is the feasibility/optimality tolerance; 0 means 1e-9.
+	Tol float64
+	// RefactorEvery rebuilds the basis inverse from scratch after this
+	// many pivots (fights floating-point drift); 0 means 512.
+	RefactorEvery int
+}
+
+// Solve optimizes the model and returns the solution. The model itself is
+// not modified, so it can be re-solved after edits.
+func (m *Model) Solve(opts Options) (*Solution, error) {
+	if opts.Tol == 0 {
+		opts.Tol = 1e-9
+	}
+	std, err := m.standardize()
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxIters == 0 {
+		opts.MaxIters = 2000 + 40*(std.n+std.m)
+	}
+	res := std.solve(opts)
+	sol := &Solution{
+		Status:      res.status,
+		Iterations:  res.iters,
+		X:           make([]float64, m.NumVars()),
+		Dual:        make([]float64, m.NumRows()),
+		ReducedCost: make([]float64, m.NumVars()),
+	}
+	if res.status != Optimal {
+		return sol, nil
+	}
+	// Map the standardized solution back to model variables.
+	orient := 1.0
+	if m.maximize {
+		orient = -1
+	}
+	for j := 0; j < m.NumVars(); j++ {
+		v := std.shift[j] + std.sign[j]*res.x[std.colOf[j]]
+		if std.negCol[j] >= 0 {
+			v -= res.x[std.negCol[j]]
+		}
+		sol.X[j] = v
+		// ∂obj_model/∂x_j: the standardized column moves by sign per
+		// unit of x_j, and the model objective is orient times the
+		// minimized one.
+		sol.ReducedCost[j] = orient * std.sign[j] * res.d[std.colOf[j]]
+	}
+	obj := 0.0
+	for j, c := range m.obj {
+		obj += c * sol.X[j]
+	}
+	sol.Objective = obj
+	for i := 0; i < m.NumRows(); i++ {
+		d := res.y[i] * std.rowSign[i]
+		if m.maximize {
+			d = -d
+		}
+		sol.Dual[i] = d
+	}
+	return sol, nil
+}

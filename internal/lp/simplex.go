@@ -1,0 +1,627 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// entry is one nonzero of a sparse column.
+type entry struct {
+	row int
+	val float64
+}
+
+// standard is the standardized computational form of a Model:
+//
+//	minimize c·x  subject to  A x = b,  0 ≤ x ≤ up,  b ≥ 0,
+//
+// where columns include structural variables (shifted so every lower bound
+// is zero), slack/surplus logicals, and phase-1 artificials.
+type standard struct {
+	m, n int
+	cols [][]entry
+	c    []float64 // phase-2 costs (minimization)
+	up   []float64 // upper bounds (lower bounds are all 0)
+	b    []float64
+	art  []bool // artificial columns (excluded from phase 2 pricing)
+
+	basisInit []int // initial basic column per row (slack or artificial)
+
+	// Mapping back to model space: modelVar j has value
+	// shift[j] + sign[j]*x[colOf[j]] - x[negCol[j]] (negCol -1 if unused).
+	colOf   []int
+	negCol  []int
+	shift   []float64
+	sign    []float64
+	rowSign []float64 // +1, or -1 if the row was negated to make b >= 0
+}
+
+// standardize converts the model into computational form.
+func (m *Model) standardize() (*standard, error) {
+	nv := m.NumVars()
+	nr := m.NumRows()
+	s := &standard{
+		m:       nr,
+		colOf:   make([]int, nv),
+		negCol:  make([]int, nv),
+		shift:   make([]float64, nv),
+		sign:    make([]float64, nv),
+		rowSign: make([]float64, nr),
+		b:       make([]float64, nr),
+	}
+	addCol := func(up, cost float64) int {
+		s.cols = append(s.cols, nil)
+		s.up = append(s.up, up)
+		s.c = append(s.c, cost)
+		s.art = append(s.art, false)
+		return len(s.cols) - 1
+	}
+
+	objSign := 1.0
+	if m.maximize {
+		objSign = -1
+	}
+
+	// Structural columns.
+	for j := 0; j < nv; j++ {
+		lo, up, c := m.lo[j], m.up[j], objSign*m.obj[j]
+		s.negCol[j] = -1
+		switch {
+		case !math.IsInf(lo, -1):
+			// x = lo + x',  x' in [0, up-lo].
+			s.colOf[j] = addCol(up-lo, c)
+			s.shift[j] = lo
+			s.sign[j] = 1
+		case !math.IsInf(up, 1):
+			// x = up - x',  x' in [0, inf).
+			s.colOf[j] = addCol(Inf, -c)
+			s.shift[j] = up
+			s.sign[j] = -1
+		default:
+			// Free: x = x+ - x-.
+			s.colOf[j] = addCol(Inf, c)
+			s.negCol[j] = addCol(Inf, -c)
+			s.shift[j] = 0
+			s.sign[j] = 1
+		}
+	}
+
+	// Rows: substitute the variable transforms, then normalize b >= 0.
+	type rowData struct {
+		terms []entry // over standardized columns
+		sense Sense
+		rhs   float64
+	}
+	rows := make([]rowData, nr)
+	for i := 0; i < nr; i++ {
+		rd := rowData{sense: m.senses[i], rhs: m.rhs[i]}
+		for _, t := range m.rows[i] {
+			j := t.Var
+			rd.rhs -= t.Coef * s.shift[j]
+			rd.terms = append(rd.terms, entry{row: s.colOf[j], val: t.Coef * s.sign[j]})
+			if s.negCol[j] >= 0 {
+				rd.terms = append(rd.terms, entry{row: s.negCol[j], val: -t.Coef})
+			}
+		}
+		s.rowSign[i] = 1
+		if rd.rhs < 0 {
+			s.rowSign[i] = -1
+			rd.rhs = -rd.rhs
+			for k := range rd.terms {
+				rd.terms[k].val = -rd.terms[k].val
+			}
+			switch rd.sense {
+			case LE:
+				rd.sense = GE
+			case GE:
+				rd.sense = LE
+			}
+		}
+		rows[i] = rd
+	}
+
+	// Emit structural coefficients into sparse columns.
+	for i, rd := range rows {
+		s.b[i] = rd.rhs
+		for _, t := range rd.terms {
+			col := t.row // reused field: column index here
+			s.cols[col] = append(s.cols[col], entry{row: i, val: t.val})
+		}
+	}
+	// Coalesce duplicate row entries within each column (duplicates can
+	// only arise from duplicate vars, already merged, so this is cheap
+	// defensive normalization).
+	for j := range s.cols {
+		s.cols[j] = coalesce(s.cols[j])
+	}
+
+	// Logicals and artificials; initial basis.
+	s.basisInit = make([]int, nr)
+	for i, rd := range rows {
+		switch rd.sense {
+		case LE:
+			sl := addCol(Inf, 0)
+			s.cols[sl] = []entry{{row: i, val: 1}}
+			s.basisInit[i] = sl
+		case GE:
+			su := addCol(Inf, 0)
+			s.cols[su] = []entry{{row: i, val: -1}}
+			a := addCol(Inf, 0)
+			s.cols[a] = []entry{{row: i, val: 1}}
+			s.art[a] = true
+			s.basisInit[i] = a
+		case EQ:
+			a := addCol(Inf, 0)
+			s.cols[a] = []entry{{row: i, val: 1}}
+			s.art[a] = true
+			s.basisInit[i] = a
+		default:
+			return nil, errors.New("lp: unknown constraint sense")
+		}
+	}
+	s.n = len(s.cols)
+	return s, nil
+}
+
+// coalesce sums entries sharing a row and drops zeros.
+func coalesce(es []entry) []entry {
+	if len(es) <= 1 {
+		return es
+	}
+	seen := make(map[int]int, len(es))
+	out := es[:0]
+	for _, e := range es {
+		if k, ok := seen[e.row]; ok {
+			out[k].val += e.val
+			continue
+		}
+		seen[e.row] = len(out)
+		out = append(out, e)
+	}
+	final := out[:0]
+	for _, e := range out {
+		if e.val != 0 {
+			final = append(final, e)
+		}
+	}
+	return final
+}
+
+// result is the raw simplex outcome over standardized columns.
+type result struct {
+	status Status
+	x      []float64 // per standardized column
+	y      []float64 // per row (duals of the minimization problem)
+	d      []float64 // reduced costs per standardized column
+	iters  int
+}
+
+// state is the revised-simplex working state.
+type state struct {
+	std           *standard
+	binv          [][]float64 // dense basis inverse, m x m
+	basis         []int       // basic column per row
+	basePos       []int       // column -> basis row + 1, or 0 if nonbasic
+	atUpper       []bool      // nonbasic-at-upper flag per column
+	xB            []float64   // basic variable values
+	tol           float64
+	iters         int
+	maxIter       int
+	refactorEvery int
+}
+
+const defaultRefactorEvery = 512
+
+// solve runs phase 1 then phase 2 and extracts primal and dual values.
+func (std *standard) solve(opts Options) result {
+	m := std.m
+	st := &state{
+		std:           std,
+		basis:         append([]int(nil), std.basisInit...),
+		basePos:       make([]int, std.n),
+		atUpper:       make([]bool, std.n),
+		xB:            append([]float64(nil), std.b...),
+		tol:           opts.Tol,
+		maxIter:       opts.MaxIters,
+		refactorEvery: opts.RefactorEvery,
+	}
+	if st.refactorEvery <= 0 {
+		st.refactorEvery = defaultRefactorEvery
+	}
+	st.binv = identity(m)
+	for i, j := range st.basis {
+		st.basePos[j] = i + 1
+	}
+
+	// Phase 1: minimize the sum of artificial values.
+	needPhase1 := false
+	c1 := make([]float64, std.n)
+	for j, isArt := range std.art {
+		if isArt {
+			c1[j] = 1
+			needPhase1 = true
+		}
+	}
+	if needPhase1 {
+		status := st.optimize(c1, false)
+		if status == IterLimit {
+			return result{status: IterLimit, iters: st.iters}
+		}
+		infeas := 0.0
+		for i, j := range st.basis {
+			if std.art[j] {
+				infeas += st.xB[i]
+			}
+		}
+		if infeas > 1e-7 {
+			return result{status: Infeasible, iters: st.iters}
+		}
+		st.expelArtificials()
+	}
+
+	// Phase 2: the real objective, artificials locked out of pricing.
+	status := st.optimize(std.c, true)
+	res := result{status: status, iters: st.iters}
+	if status != Optimal {
+		return res
+	}
+	res.x = make([]float64, std.n)
+	for j := range res.x {
+		if st.atUpper[j] {
+			res.x[j] = std.up[j]
+		}
+	}
+	for i, j := range st.basis {
+		res.x[j] = st.xB[i]
+	}
+	res.y = st.duals(std.c)
+	res.d = make([]float64, std.n)
+	for j := 0; j < std.n; j++ {
+		dj := std.c[j]
+		for _, e := range std.cols[j] {
+			dj -= res.y[e.row] * e.val
+		}
+		res.d[j] = dj
+	}
+	return res
+}
+
+func identity(m int) [][]float64 {
+	b := make([][]float64, m)
+	for i := range b {
+		b[i] = make([]float64, m)
+		b[i][i] = 1
+	}
+	return b
+}
+
+// duals computes y = c_B * Binv.
+func (st *state) duals(costs []float64) []float64 {
+	m := st.std.m
+	y := make([]float64, m)
+	for i, j := range st.basis {
+		cb := costs[j]
+		if cb == 0 {
+			continue
+		}
+		row := st.binv[i]
+		for k := 0; k < m; k++ {
+			y[k] += cb * row[k]
+		}
+	}
+	return y
+}
+
+// expelArtificials pivots basic artificials (all at value ~0 after a
+// feasible phase 1) out of the basis where possible. Rows whose artificial
+// cannot be replaced are linearly dependent; their artificial stays basic
+// at zero and is excluded from phase-2 pricing, which keeps it at zero.
+func (st *state) expelArtificials() {
+	std := st.std
+	for i := 0; i < std.m; i++ {
+		j := st.basis[i]
+		if !std.art[j] {
+			continue
+		}
+		// Find a nonbasic-at-lower, non-artificial column with a usable
+		// pivot in row i of the tableau: alpha = (Binv row i) . A_col.
+		// Columns resting at their upper bound are skipped because the
+		// entering variable keeps the leaving artificial's zero value.
+		brow := st.binv[i]
+		for col := 0; col < std.n; col++ {
+			if std.art[col] || st.basePos[col] != 0 || st.atUpper[col] {
+				continue
+			}
+			alpha := 0.0
+			for _, e := range std.cols[col] {
+				alpha += brow[e.row] * e.val
+			}
+			if math.Abs(alpha) < 1e-7 {
+				continue
+			}
+			w := st.colTimesBinv(col)
+			st.updateBasis(col, i, w)
+			break
+		}
+	}
+}
+
+// colTimesBinv returns w = Binv * A_q.
+func (st *state) colTimesBinv(q int) []float64 {
+	m := st.std.m
+	w := make([]float64, m)
+	for _, e := range st.std.cols[q] {
+		v := e.val
+		for i := 0; i < m; i++ {
+			w[i] += st.binv[i][e.row] * v
+		}
+	}
+	return w
+}
+
+// updateBasis performs the product-form update of Binv for entering column
+// q at row r with tableau column w, and fixes the bookkeeping arrays.
+func (st *state) updateBasis(q, r int, w []float64) {
+	m := st.std.m
+	piv := w[r]
+	br := st.binv[r][:m]
+	inv := 1 / piv
+	for k := range br {
+		br[k] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == r {
+			continue
+		}
+		f := w[i]
+		if f == 0 {
+			continue
+		}
+		// axpy: binv[i] -= f * br. Unrolled 4-wide; this is the single
+		// hottest loop in the repository (every pivot touches m rows of
+		// the dense inverse).
+		bi := st.binv[i][:m]
+		k := 0
+		for ; k+4 <= m; k += 4 {
+			bi[k] -= f * br[k]
+			bi[k+1] -= f * br[k+1]
+			bi[k+2] -= f * br[k+2]
+			bi[k+3] -= f * br[k+3]
+		}
+		for ; k < m; k++ {
+			bi[k] -= f * br[k]
+		}
+	}
+	leaving := st.basis[r]
+	st.basePos[leaving] = 0
+	st.basis[r] = q
+	st.basePos[q] = r + 1
+	st.atUpper[q] = false
+}
+
+// refactor rebuilds Binv from the basis columns by Gauss-Jordan
+// elimination with partial pivoting, then recomputes xB. It returns false
+// when the basis matrix is numerically singular.
+func (st *state) refactor() bool {
+	std := st.std
+	m := std.m
+	// Dense B.
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, 2*m)
+		a[i][m+i] = 1
+	}
+	for pos, j := range st.basis {
+		for _, e := range std.cols[j] {
+			a[e.row][pos] = e.val
+		}
+	}
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		p := col
+		best := math.Abs(a[col][col])
+		for i := col + 1; i < m; i++ {
+			if v := math.Abs(a[i][col]); v > best {
+				best, p = v, i
+			}
+		}
+		if best < 1e-12 {
+			return false
+		}
+		a[col], a[p] = a[p], a[col]
+		inv := 1 / a[col][col]
+		for k := col; k < 2*m; k++ {
+			a[col][k] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == col {
+				continue
+			}
+			f := a[i][col]
+			if f == 0 {
+				continue
+			}
+			for k := col; k < 2*m; k++ {
+				a[i][k] -= f * a[col][k]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(st.binv[i], a[i][m:])
+	}
+	st.recomputeXB()
+	return true
+}
+
+// recomputeXB sets xB = Binv * (b - sum of nonbasic-at-upper columns).
+func (st *state) recomputeXB() {
+	std := st.std
+	m := std.m
+	rhs := append([]float64(nil), std.b...)
+	for j := 0; j < std.n; j++ {
+		if !st.atUpper[j] || st.basePos[j] != 0 {
+			continue
+		}
+		u := std.up[j]
+		for _, e := range std.cols[j] {
+			rhs[e.row] -= e.val * u
+		}
+	}
+	for i := 0; i < m; i++ {
+		v := 0.0
+		row := st.binv[i]
+		for k := 0; k < m; k++ {
+			v += row[k] * rhs[k]
+		}
+		st.xB[i] = v
+	}
+}
+
+// optimize runs the bounded-variable revised simplex to optimality under
+// the given cost vector. When skipArt is true, artificial columns never
+// enter the basis.
+func (st *state) optimize(costs []float64, skipArt bool) Status {
+	std := st.std
+	m := std.m
+	stall := 0
+	sinceRefactor := 0
+	// Duals are maintained incrementally across pivots (y' = y +
+	// (d_q/w_r)·ρ_r with ρ_r the leaving row of the old inverse) and
+	// recomputed from scratch only at refactorization points.
+	y := st.duals(costs)
+	for {
+		if st.iters >= st.maxIter {
+			return IterLimit
+		}
+		if sinceRefactor >= st.refactorEvery {
+			if !st.refactor() {
+				return IterLimit
+			}
+			sinceRefactor = 0
+			y = st.duals(costs)
+		}
+
+		// Pricing: Dantzig by default, Bland under stalling.
+		bland := stall > 64
+		q := -1
+		var qViol, qD float64
+		var qFromUpper bool
+		for j := 0; j < std.n; j++ {
+			if st.basePos[j] != 0 {
+				continue
+			}
+			if skipArt && std.art[j] {
+				continue
+			}
+			d := costs[j]
+			for _, e := range std.cols[j] {
+				d -= y[e.row] * e.val
+			}
+			var viol float64
+			var fromUpper bool
+			if st.atUpper[j] {
+				if d > st.tol {
+					viol, fromUpper = d, true
+				}
+			} else if d < -st.tol {
+				viol = -d
+			}
+			if viol == 0 {
+				continue
+			}
+			if bland {
+				q, qFromUpper, qD = j, fromUpper, d
+				break
+			}
+			if viol > qViol {
+				q, qViol, qFromUpper, qD = j, viol, fromUpper, d
+			}
+		}
+		if q < 0 {
+			return Optimal
+		}
+
+		// Direction: entering moves by +t from lower or -t from upper.
+		sigma := 1.0
+		if qFromUpper {
+			sigma = -1
+		}
+		w := st.colTimesBinv(q)
+
+		// Ratio test. Basic i changes at rate -sigma*w[i] per unit t.
+		tMax := std.up[q] // bound-flip limit (up - lo, lo = 0)
+		leave := -1
+		leaveToUpper := false
+		pivTol := 1e-9
+		for i := 0; i < m; i++ {
+			r := sigma * w[i]
+			jb := st.basis[i]
+			if r > pivTol {
+				lim := st.xB[i] / r
+				if lim < 0 {
+					lim = 0
+				}
+				if lim < tMax-1e-12 || (lim <= tMax && leave < 0) {
+					tMax, leave, leaveToUpper = lim, i, false
+				} else if bland && lim <= tMax+1e-12 && leave >= 0 && st.basis[i] < st.basis[leave] {
+					tMax, leave, leaveToUpper = math.Min(tMax, lim), i, false
+				}
+			} else if r < -pivTol && !math.IsInf(std.up[jb], 1) {
+				lim := (std.up[jb] - st.xB[i]) / (-r)
+				if lim < 0 {
+					lim = 0
+				}
+				if lim < tMax-1e-12 || (lim <= tMax && leave < 0) {
+					tMax, leave, leaveToUpper = lim, i, true
+				} else if bland && lim <= tMax+1e-12 && leave >= 0 && st.basis[i] < st.basis[leave] {
+					tMax, leave, leaveToUpper = math.Min(tMax, lim), i, true
+				}
+			}
+		}
+		if math.IsInf(tMax, 1) && leave < 0 {
+			return Unbounded
+		}
+		st.iters++
+		sinceRefactor++
+		if tMax <= st.tol {
+			stall++
+		} else {
+			stall = 0
+		}
+
+		if leave < 0 {
+			// Bound flip: entering crosses its own span.
+			for i := 0; i < m; i++ {
+				st.xB[i] -= tMax * sigma * w[i]
+			}
+			st.atUpper[q] = !st.atUpper[q]
+			continue
+		}
+
+		// Pivot: q enters at row `leave`.
+		enterVal := tMax
+		if qFromUpper {
+			enterVal = std.up[q] - tMax
+		}
+		for i := 0; i < m; i++ {
+			st.xB[i] -= tMax * sigma * w[i]
+		}
+		// Dual update before the inverse changes: y += (d_q/w_r) * ρ_r
+		// with ρ_r the leaving row of the *old* inverse.
+		theta := qD / w[leave]
+		rho := st.binv[leave]
+		for k := 0; k < m; k++ {
+			y[k] += theta * rho[k]
+		}
+		leavingCol := st.basis[leave]
+		st.updateBasis(q, leave, w)
+		st.xB[leave] = enterVal
+		st.atUpper[leavingCol] = leaveToUpper
+		// Clamp tiny negative residue from roundoff.
+		for i := 0; i < m; i++ {
+			if st.xB[i] < 0 && st.xB[i] > -1e-7 {
+				st.xB[i] = 0
+			}
+		}
+	}
+}

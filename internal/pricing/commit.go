@@ -1,0 +1,39 @@
+package pricing
+
+import (
+	"math"
+
+	"pretium/internal/traffic"
+)
+
+// Commit finalizes an admission for a customer who chose to buy `bought`
+// bytes from the quoted menu: it computes the payment and value proxy,
+// reserves the guaranteed portion along the menu's minimum-price
+// segments, and returns the record (nil when bought is nonpositive).
+// Admit composes QuoteMenu, the Theorem 5.2 purchase rule, and Commit;
+// ablations such as Pretium-NoMenu (all-or-nothing purchases, Figure 11)
+// call Commit directly with their own purchase decision.
+func Commit(st *State, req *traffic.Request, menu *Menu, bought float64) *Admission {
+	if bought <= 1e-12 {
+		return nil
+	}
+	adm := &Admission{
+		Request:    req,
+		Menu:       menu,
+		Bought:     bought,
+		Guaranteed: math.Min(bought, menu.Cap()),
+		Payment:    menu.Price(bought),
+		Lambda:     menu.Marginal(bought),
+	}
+	remaining := adm.Guaranteed
+	for _, s := range menu.Segments {
+		if remaining <= 1e-12 {
+			break
+		}
+		take := math.Min(remaining, s.Bytes)
+		st.Reserve(req.Routes[s.RouteIdx], s.Time, take)
+		adm.Allocs = append(adm.Allocs, ReservedAlloc{RouteIdx: s.RouteIdx, Time: s.Time, Bytes: take})
+		remaining -= take
+	}
+	return adm
+}

@@ -1,0 +1,203 @@
+// Package pricing implements Pretium's price machinery: the shared
+// network-state data structure (per-link per-timestep internal prices plus
+// the forward reservation plan), the request-admission price menus of
+// §4.1, the short-term congestion adjustment, and the Price Computer of
+// §4.3 that refreshes internal prices from the duals of an offline
+// welfare LP.
+package pricing
+
+import (
+	"fmt"
+
+	"pretium/internal/graph"
+)
+
+// AdjustConfig is the short-term price adjustment of §4.1: once a link's
+// reserved share crosses Threshold, further bytes are priced at Factor
+// times the base price ("double the price of the last 20% of the link
+// capacity"). Pricing the *remaining* segment this way is functionally
+// the paper's equivalent formulation of splitting each link into parallel
+// links with different prices.
+type AdjustConfig struct {
+	// Threshold is the utilization fraction at which the premium
+	// segment begins (paper example: 0.8).
+	Threshold float64
+	// Factor multiplies the base price on the premium segment (paper
+	// example: 2).
+	Factor float64
+}
+
+// DefaultAdjust returns the paper's example rule: double the price of the
+// last 20% of capacity.
+func DefaultAdjust() AdjustConfig { return AdjustConfig{Threshold: 0.8, Factor: 2} }
+
+// State is the network state shared by Pretium's three modules (Figure
+// 3): internal prices {P_{e,t}}, the forward plan of reserved bandwidth,
+// and the high-pri set-aside. Timesteps are absolute indices in
+// [0, Horizon).
+type State struct {
+	Net     *graph.Network
+	Horizon int
+	// BasePrice[e][t] is the internal per-byte price P_{e,t} maintained
+	// by the Price Computer.
+	BasePrice [][]float64
+	// Reserved[e][t] is bandwidth committed to admitted requests.
+	Reserved [][]float64
+	// HighPri[e][t] is capacity set aside for ad hoc high-priority
+	// traffic (§4.4), unavailable to scheduled transfers.
+	HighPri [][]float64
+	Adjust  AdjustConfig
+}
+
+// NewState creates a state with uniform initial prices. Usage-priced
+// edges start at basePrice plus their per-unit cost so that, before any
+// history exists, quotes already cover marginal cost.
+func NewState(net *graph.Network, horizon int, basePrice float64) *State {
+	s := &State{
+		Net:     net,
+		Horizon: horizon,
+		Adjust:  DefaultAdjust(),
+	}
+	ne := net.NumEdges()
+	s.BasePrice = make([][]float64, ne)
+	s.Reserved = make([][]float64, ne)
+	s.HighPri = make([][]float64, ne)
+	for _, e := range net.Edges() {
+		s.BasePrice[e.ID] = make([]float64, horizon)
+		s.Reserved[e.ID] = make([]float64, horizon)
+		s.HighPri[e.ID] = make([]float64, horizon)
+		p := basePrice
+		if e.UsagePriced {
+			p += e.CostPerUnit
+		}
+		for t := 0; t < horizon; t++ {
+			s.BasePrice[e.ID][t] = p
+		}
+	}
+	return s
+}
+
+// SetHighPriFraction reserves a uniform fraction of every link for
+// high-pri traffic.
+func (s *State) SetHighPriFraction(frac float64) {
+	for _, e := range s.Net.Edges() {
+		for t := 0; t < s.Horizon; t++ {
+			s.HighPri[e.ID][t] = e.Capacity * frac
+		}
+	}
+}
+
+// Capacity returns the bandwidth available to scheduled traffic on edge e
+// at time t (raw capacity minus the high-pri set-aside).
+func (s *State) Capacity(e graph.EdgeID, t int) float64 {
+	c := s.Net.Edge(e).Capacity - s.HighPri[e][t]
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// Available returns the unreserved schedulable bandwidth on (e, t).
+func (s *State) Available(e graph.EdgeID, t int) float64 {
+	a := s.Capacity(e, t) - s.Reserved[e][t]
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// CapacityMatrix materializes Capacity into [edge][t] form for the
+// scheduler.
+func (s *State) CapacityMatrix() [][]float64 {
+	out := make([][]float64, s.Net.NumEdges())
+	for e := range out {
+		out[e] = make([]float64, s.Horizon)
+		for t := 0; t < s.Horizon; t++ {
+			out[e][t] = s.Capacity(graph.EdgeID(e), t)
+		}
+	}
+	return out
+}
+
+// MarginalPrice returns the price of the next byte on (e, t) given
+// current reservations plus extra pending bytes: the base price, or the
+// adjusted premium once utilization crosses the threshold.
+func (s *State) MarginalPrice(e graph.EdgeID, t int, extra float64) float64 {
+	base := s.BasePrice[e][t]
+	cap := s.Capacity(e, t)
+	if cap <= 0 {
+		return base * s.Adjust.Factor
+	}
+	used := s.Reserved[e][t] + extra
+	if used >= s.Adjust.Threshold*cap {
+		return base * s.Adjust.Factor
+	}
+	return base
+}
+
+// segmentRoom returns how many more bytes fit on (e, t) at the *current*
+// marginal price before either the premium threshold or capacity is hit.
+func (s *State) segmentRoom(e graph.EdgeID, t int, extra float64) float64 {
+	cap := s.Capacity(e, t)
+	used := s.Reserved[e][t] + extra
+	room := cap - used
+	if room <= 0 {
+		return 0
+	}
+	thresh := s.Adjust.Threshold * cap
+	if used < thresh && thresh-used < room {
+		return thresh - used
+	}
+	return room
+}
+
+// Reserve commits amount bytes on every edge of route at time t.
+func (s *State) Reserve(route graph.Path, t int, amount float64) {
+	for _, e := range route {
+		s.Reserved[e][t] += amount
+	}
+}
+
+// SetReserved replaces the whole reservation plan (used after SAM
+// re-optimizes the forward schedule so RA quotes see the updated plan).
+func (s *State) SetReserved(usage [][]float64) error {
+	if len(usage) != s.Net.NumEdges() {
+		return fmt.Errorf("pricing: reservation matrix has %d edges, want %d", len(usage), s.Net.NumEdges())
+	}
+	for e := range usage {
+		if len(usage[e]) != s.Horizon {
+			return fmt.Errorf("pricing: reservation row %d has %d steps, want %d", e, len(usage[e]), s.Horizon)
+		}
+		copy(s.Reserved[e], usage[e])
+	}
+	return nil
+}
+
+// SetPricesWindow overwrites BasePrice for absolute steps [from, from+len)
+// from the given window, tiling the window forward until the horizon (the
+// Price Computer carries the reference window's prices into following
+// windows, §4.3).
+func (s *State) SetPricesWindow(from int, window [][]float64) error {
+	if len(window) != s.Net.NumEdges() {
+		return fmt.Errorf("pricing: price window has %d edges, want %d", len(window), s.Net.NumEdges())
+	}
+	w := 0
+	for e := range window {
+		if w == 0 {
+			w = len(window[e])
+		}
+		if len(window[e]) != w {
+			return fmt.Errorf("pricing: ragged price window")
+		}
+	}
+	if w == 0 {
+		return fmt.Errorf("pricing: empty price window")
+	}
+	for t := from; t < s.Horizon; t++ {
+		idx := (t - from) % w
+		for e := range window {
+			s.BasePrice[e][t] = window[e][idx]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,337 @@
+// Package sched builds and solves Pretium's multi-timestep scheduling LPs.
+//
+// One LP shape (Eq. 2 of the paper) underlies most of the system:
+//
+//	maximize   Σ_i Σ_{r,t} λ_i X_irt  −  Σ_e C_e z_e
+//	subject to Σ_{r,t} X_irt ≤ x_i − B_iτ      (remaining purchased demand)
+//	           Σ_{r,t} X_irt ≥ g_i − B_iτ      (remaining guarantee)
+//	           Σ_{i,r∋e}  X_irt ≤ c_{e,t}      (capacity, per edge-time)
+//	           z_e ≥ mean of top-k loads       (sorting network, §4.2)
+//
+// The schedule adjustment module (SAM) solves it every timestep with
+// marginal prices λ_i as value proxies; the offline optimum (OPT) solves
+// it over the whole horizon with true values; the price computer solves it
+// over a reference window and reads the *duals* as link prices. This
+// package provides the shared builder, the solver wrapper, and the
+// dual-price extraction.
+package sched
+
+import (
+	"fmt"
+
+	"pretium/internal/cost"
+	"pretium/internal/graph"
+	"pretium/internal/lp"
+)
+
+// Demand is one request as seen by the scheduler: how many bytes it may
+// still send, how many are promised, and the per-byte value (true value
+// for offline oracles, marginal quoted price λ_i for online Pretium).
+type Demand struct {
+	ID     int
+	Routes []graph.Path
+	// Start and End bound the allowed transfer timesteps (inclusive).
+	Start, End int
+	// MaxBytes is the remaining purchased demand x_i - B_iτ.
+	MaxBytes float64
+	// MinBytes is the remaining guarantee g_i - B_iτ (0 when none).
+	MinBytes float64
+	// ValuePerByte weights this demand's bytes in the objective.
+	ValuePerByte float64
+	// Allowed optionally restricts scheduling to these timesteps (still
+	// intersected with [Start, End]); nil means the whole interval. The
+	// PeakOracle baseline uses it to forbid sending at peak hours whose
+	// price exceeds the request's value.
+	Allowed []int
+	// RateCap bounds the demand's total bandwidth per timestep across
+	// all its routes (0 = unlimited). This is the §4.4 fairness lever:
+	// capping what any one customer can hold keeps elephants from
+	// driving prices beyond everyone else's reach.
+	RateCap float64
+}
+
+// allowedAt reports whether t is schedulable for the demand, given the
+// already-clipped interval [lo, hi].
+func (d *Demand) allowedAt(t int) bool {
+	if d.Allowed == nil {
+		return true
+	}
+	for _, a := range d.Allowed {
+		if a == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Alloc is one scheduled flow assignment: Bytes of demand DemandIdx on
+// route RouteIdx at timestep Time.
+type Alloc struct {
+	DemandIdx int
+	RouteIdx  int
+	Time      int
+	Bytes     float64
+}
+
+// Instance is a scheduling problem over an absolute timestep axis
+// [0, Horizon). Allocation happens only in [StartStep, Horizon); earlier
+// steps may carry FixedUsage that still counts toward percentile-cost
+// windows (a SAM re-optimization mid-window must remember the morning's
+// peaks).
+type Instance struct {
+	Net     *graph.Network
+	Horizon int
+	// StartStep is τ: the first timestep the scheduler may place bytes.
+	StartStep int
+	// Capacity[e][t] is the bandwidth available to scheduled traffic
+	// (link capacity minus the high-pri set-aside, §4.4).
+	Capacity [][]float64
+	// FixedUsage[e][t] is prior traffic charged to cost windows but not
+	// re-schedulable; nil means none.
+	FixedUsage [][]float64
+	Demands    []Demand
+	// Cost configures percentile charging; UseCostProxy includes the
+	// C_e*z_e term in the objective (the NoCost ablation drops it).
+	Cost         cost.Config
+	UseCostProxy bool
+	// WantPrices requests dual-derived link prices in the result. It
+	// adds explicit load variables and definition rows (whose duals
+	// expose the marginal cost burden), growing the LP; only the Price
+	// Computer needs it.
+	WantPrices bool
+}
+
+// Result is a solved schedule.
+type Result struct {
+	Status lp.Status
+	// Objective is the LP objective: proxy welfare of the schedule.
+	Objective float64
+	Allocs    []Alloc
+	// Delivered[d] is the total bytes scheduled for demand d.
+	Delivered []float64
+	// EdgeUsage[e][t] is the scheduled load (excluding FixedUsage).
+	EdgeUsage [][]float64
+	// Price[e][t] is the dual-derived internal link price: the capacity
+	// shadow price plus the marginal percentile-cost burden. This is
+	// what the Price Computer publishes (§4.3).
+	Price [][]float64
+	// Iterations counts simplex pivots.
+	Iterations int
+}
+
+// Solve builds the LP and optimizes it. It returns an error for malformed
+// instances; infeasibility (e.g. guarantees that no longer fit) is
+// reported via Result.Status so callers can relax and retry.
+func (ins *Instance) Solve(opts lp.Options) (*Result, error) {
+	if ins.Horizon <= 0 || ins.StartStep < 0 || ins.StartStep > ins.Horizon {
+		return nil, fmt.Errorf("sched: bad time axis [%d, %d)", ins.StartStep, ins.Horizon)
+	}
+	ne := ins.Net.NumEdges()
+	if len(ins.Capacity) != ne {
+		return nil, fmt.Errorf("sched: capacity has %d edges, network has %d", len(ins.Capacity), ne)
+	}
+
+	m := lp.NewModel()
+	m.SetMaximize(true)
+
+	// Flow variables, grouped per (edge, time) for capacity rows.
+	type flowVar struct {
+		v       lp.Var
+		d, r, t int
+	}
+	var flows []flowVar
+	loadTerms := make(map[int]map[int][]lp.Term) // edge -> t -> terms
+	addLoad := func(e, t int, v lp.Var) {
+		byT, ok := loadTerms[e]
+		if !ok {
+			byT = make(map[int][]lp.Term)
+			loadTerms[e] = byT
+		}
+		byT[t] = append(byT[t], lp.Term{Var: v, Coef: 1})
+	}
+
+	for di := range ins.Demands {
+		d := &ins.Demands[di]
+		lo, hi := d.Start, d.End
+		if lo < ins.StartStep {
+			lo = ins.StartStep
+		}
+		if hi > ins.Horizon-1 {
+			hi = ins.Horizon - 1
+		}
+		var dTerms []lp.Term
+		perStep := make(map[int][]lp.Term) // for the RateCap rows
+		for ri, route := range d.Routes {
+			for t := lo; t <= hi; t++ {
+				if !d.allowedAt(t) {
+					continue
+				}
+				up := lp.Inf
+				if d.RateCap > 0 && len(d.Routes) == 1 {
+					up = d.RateCap // single route: a bound beats a row
+				}
+				v := m.AddVar(0, up, d.ValuePerByte, fmt.Sprintf("x.d%d.r%d.t%d", d.ID, ri, t))
+				flows = append(flows, flowVar{v: v, d: di, r: ri, t: t})
+				dTerms = append(dTerms, lp.Term{Var: v, Coef: 1})
+				if d.RateCap > 0 && len(d.Routes) > 1 {
+					perStep[t] = append(perStep[t], lp.Term{Var: v, Coef: 1})
+				}
+				for _, eid := range route {
+					addLoad(int(eid), t, v)
+				}
+			}
+		}
+		for _, terms := range perStep {
+			m.AddConstraint(lp.LE, d.RateCap, terms...)
+		}
+		if len(dTerms) == 0 {
+			if d.MinBytes > 1e-9 {
+				return nil, fmt.Errorf("sched: demand %d has a guarantee but no schedulable timesteps", d.ID)
+			}
+			continue
+		}
+		if d.MaxBytes < 0 {
+			return nil, fmt.Errorf("sched: demand %d has negative MaxBytes", d.ID)
+		}
+		m.AddConstraint(lp.LE, d.MaxBytes, dTerms...)
+		if d.MinBytes > 1e-9 {
+			m.AddConstraint(lp.GE, d.MinBytes, dTerms...)
+		}
+	}
+
+	// Capacity rows (only where flow exists) and price bookkeeping.
+	capRow := make(map[int]map[int]lp.Row)
+	defRow := make(map[int]map[int]lp.Row)
+	for e, byT := range loadTerms {
+		capRow[e] = make(map[int]lp.Row)
+		for t, terms := range byT {
+			capRow[e][t] = m.AddConstraint(lp.LE, ins.Capacity[e][t], terms...)
+		}
+	}
+
+	// Percentile-cost proxy per usage-priced edge per charging window.
+	if ins.UseCostProxy {
+		w := ins.Cost.WindowLen
+		if w <= 0 {
+			w = ins.Horizon
+		}
+		for _, e := range ins.Net.Edges() {
+			if !e.UsagePriced {
+				continue
+			}
+			eid := int(e.ID)
+			for ws := 0; ws < ins.Horizon; ws += w {
+				we := ws + w
+				if we > ins.Horizon {
+					we = ins.Horizon
+				}
+				// Windows entirely in the past are sunk cost: nothing
+				// the scheduler does can change them.
+				if we <= ins.StartStep {
+					continue
+				}
+				// Build per-timestep load expressions. With WantPrices,
+				// each becomes an explicit load variable L with a
+				// definition row L = flows + fixed, whose dual exposes
+				// the marginal cost of load; otherwise the flow terms
+				// feed the sorting network directly (smaller LP).
+				var loads []cost.LoadExpr
+				anyFlow := false
+				for t := ws; t < we; t++ {
+					fixed := 0.0
+					if ins.FixedUsage != nil {
+						fixed = ins.FixedUsage[eid][t]
+					}
+					var terms []lp.Term
+					if byT, ok := loadTerms[eid]; ok {
+						terms = byT[t]
+					}
+					if len(terms) == 0 {
+						// Constant load: a fixed variable keeps the
+						// sorting network purely linear.
+						lv := m.AddVar(fixed, fixed, 0, fmt.Sprintf("L.e%d.t%d", eid, t))
+						loads = append(loads, cost.LoadExpr{{Var: lv, Coef: 1}})
+						continue
+					}
+					anyFlow = true
+					if !ins.WantPrices {
+						expr := append(cost.LoadExpr(nil), terms...)
+						if fixed > 0 {
+							fv := m.AddVar(fixed, fixed, 0, fmt.Sprintf("F.e%d.t%d", eid, t))
+							expr = append(expr, lp.Term{Var: fv, Coef: 1})
+						}
+						loads = append(loads, expr)
+						continue
+					}
+					lv := m.AddVar(0, lp.Inf, 0, fmt.Sprintf("L.e%d.t%d", eid, t))
+					// flows + fixed - L = 0  →  Σ flows - L = -fixed.
+					def := append(append([]lp.Term(nil), terms...), lp.Term{Var: lv, Coef: -1})
+					row := m.AddConstraint(lp.EQ, -fixed, def...)
+					if defRow[eid] == nil {
+						defRow[eid] = make(map[int]lp.Row)
+					}
+					defRow[eid][t] = row
+					loads = append(loads, cost.LoadExpr{{Var: lv, Coef: 1}})
+				}
+				if !anyFlow {
+					continue
+				}
+				k := ins.Cost.K(we - ws)
+				s := cost.AddTopKBound(m, loads, k, fmt.Sprintf("z.e%d.w%d", eid, ws))
+				m.SetObj(s, -e.CostPerUnit/float64(k))
+			}
+		}
+	}
+
+	sol, err := m.Solve(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Status:     sol.Status,
+		Iterations: sol.Iterations,
+		Delivered:  make([]float64, len(ins.Demands)),
+		EdgeUsage:  make([][]float64, ne),
+		Price:      make([][]float64, ne),
+	}
+	for e := 0; e < ne; e++ {
+		res.EdgeUsage[e] = make([]float64, ins.Horizon)
+		res.Price[e] = make([]float64, ins.Horizon)
+	}
+	if sol.Status != lp.Optimal {
+		return res, nil
+	}
+	res.Objective = sol.Objective
+	for _, f := range flows {
+		b := sol.X[f.v]
+		if b < 1e-9 {
+			continue
+		}
+		res.Allocs = append(res.Allocs, Alloc{DemandIdx: f.d, RouteIdx: f.r, Time: f.t, Bytes: b})
+		res.Delivered[f.d] += b
+		for _, eid := range ins.Demands[f.d].Routes[f.r] {
+			res.EdgeUsage[eid][f.t] += b
+		}
+	}
+	// Prices: capacity shadow price plus marginal cost burden. Solution
+	// duals are ∂objective/∂rhs in the maximization orientation, so both
+	// come out nonnegative at an optimum (clamped against roundoff):
+	// raising capacity can only help, and raising the rhs of
+	// "Σ flows - L = -fixed" relieves a unit of charged load, gaining
+	// exactly the marginal C_e z_e burden.
+	for e, byT := range capRow {
+		for t, row := range byT {
+			if p := sol.Dual[row]; p > 0 {
+				res.Price[e][t] += p
+			}
+		}
+	}
+	for e, byT := range defRow {
+		for t, row := range byT {
+			if d := sol.Dual[row]; d > 0 {
+				res.Price[e][t] += d
+			}
+		}
+	}
+	return res, nil
+}

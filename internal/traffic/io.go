@@ -1,0 +1,188 @@
+package traffic
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"pretium/internal/graph"
+)
+
+// WriteSeriesCSV serializes a traffic-matrix time-series as CSV rows
+// "step,src,dst,volume" (zero entries omitted). The paper's evaluation
+// replays *recorded* traces; this format lets experiments run from saved
+// traces instead of regenerating them.
+func WriteSeriesCSV(w io.Writer, s Series) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"step", "src", "dst", "volume"}); err != nil {
+		return err
+	}
+	for t, m := range s {
+		for src, row := range m.Demand {
+			for dst, v := range row {
+				if v == 0 {
+					continue
+				}
+				rec := []string{
+					strconv.Itoa(t),
+					strconv.Itoa(src),
+					strconv.Itoa(dst),
+					strconv.FormatFloat(v, 'g', -1, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadSeriesCSV parses a series written by WriteSeriesCSV. The node count
+// and step count are inferred from the data; steps with no traffic still
+// appear (as zero matrices) up to the maximum step index present.
+func ReadSeriesCSV(r io.Reader) (Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("traffic: reading CSV header: %w", err)
+	}
+	if header[0] != "step" {
+		return nil, fmt.Errorf("traffic: unexpected CSV header %v", header)
+	}
+	type rec struct {
+		t, src, dst int
+		v           float64
+	}
+	var recs []rec
+	maxStep, maxNode := -1, -1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("traffic: reading CSV: %w", err)
+		}
+		t, err1 := strconv.Atoi(row[0])
+		src, err2 := strconv.Atoi(row[1])
+		dst, err3 := strconv.Atoi(row[2])
+		v, err4 := strconv.ParseFloat(row[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("traffic: malformed CSV row %v", row)
+		}
+		if t < 0 || src < 0 || dst < 0 || v < 0 {
+			return nil, fmt.Errorf("traffic: negative field in CSV row %v", row)
+		}
+		if src == dst {
+			return nil, fmt.Errorf("traffic: self-demand in CSV row %v", row)
+		}
+		recs = append(recs, rec{t, src, dst, v})
+		if t > maxStep {
+			maxStep = t
+		}
+		if src > maxNode {
+			maxNode = src
+		}
+		if dst > maxNode {
+			maxNode = dst
+		}
+	}
+	if maxStep < 0 {
+		return nil, fmt.Errorf("traffic: empty trace")
+	}
+	s := make(Series, maxStep+1)
+	for t := range s {
+		s[t] = NewMatrix(maxNode + 1)
+	}
+	for _, rc := range recs {
+		s[rc.t].Demand[rc.src][rc.dst] += rc.v
+	}
+	return s, nil
+}
+
+// WriteRequestsCSV serializes a request stream (route sets are not
+// persisted; ReadRequestsCSV rebuilds them against a network).
+func WriteRequestsCSV(w io.Writer, reqs []*Request) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"id", "src", "dst", "arrival", "start", "end", "demand", "rate", "kind", "value"}); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		rec := []string{
+			strconv.Itoa(r.ID),
+			strconv.Itoa(int(r.Src)),
+			strconv.Itoa(int(r.Dst)),
+			strconv.Itoa(r.Arrival),
+			strconv.Itoa(r.Start),
+			strconv.Itoa(r.End),
+			strconv.FormatFloat(r.Demand, 'g', -1, 64),
+			strconv.FormatFloat(r.Rate, 'g', -1, 64),
+			strconv.Itoa(int(r.Kind)),
+			strconv.FormatFloat(r.Value, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadRequestsCSV parses requests written by WriteRequestsCSV and
+// rebuilds each route set as the k shortest paths on n.
+func ReadRequestsCSV(r io.Reader, n *graph.Network, routesPerRequest int) ([]*Request, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 10
+	if _, err := cr.Read(); err != nil {
+		return nil, fmt.Errorf("traffic: reading CSV header: %w", err)
+	}
+	var reqs []*Request
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("traffic: reading CSV: %w", err)
+		}
+		ints := make([]int, 6)
+		for i := 0; i < 6; i++ {
+			ints[i], err = strconv.Atoi(row[i])
+			if err != nil {
+				return nil, fmt.Errorf("traffic: malformed CSV row %v: %w", row, err)
+			}
+		}
+		demand, err1 := strconv.ParseFloat(row[6], 64)
+		rate, err2 := strconv.ParseFloat(row[7], 64)
+		kind, err3 := strconv.Atoi(row[8])
+		value, err4 := strconv.ParseFloat(row[9], 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("traffic: malformed CSV row %v", row)
+		}
+		req := &Request{
+			ID:  ints[0],
+			Src: graph.NodeID(ints[1]), Dst: graph.NodeID(ints[2]),
+			Arrival: ints[3], Start: ints[4], End: ints[5],
+			Demand: demand, Rate: rate, Kind: Kind(kind), Value: value,
+			Routes: n.KShortestPaths(graph.NodeID(ints[1]), graph.NodeID(ints[2]), routesPerRequest),
+		}
+		if err := req.Validate(n); err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, req)
+	}
+	return reqs, nil
+}
