@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the gate for every change: vet plus the full suite under the
+# race detector (the experiment harness fans work out across goroutines,
+# so -race is load-bearing, not optional).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -13,6 +13,7 @@ import (
 	"pretium/internal/cost"
 	"pretium/internal/exp"
 	"pretium/internal/lp"
+	"pretium/internal/sched"
 )
 
 func benchScale() exp.Scale { return exp.Small() }
@@ -217,6 +218,58 @@ func BenchmarkLPSolver(b *testing.B) {
 			b.Fatalf("solve failed: %v %v", err, sol.Status)
 		}
 	}
+}
+
+// BenchmarkSimplexWarmVsCold measures re-solving a SAM-shaped scheduling
+// LP after a small capacity perturbation (the Pretium control loop's hot
+// path: same structure, slightly different RHS), cold versus warm-started
+// from the unperturbed optimum's basis. Shrinking capacity (a fault)
+// knocks the old vertex primal infeasible — as essentially any RHS change
+// does — so this exercises the full warm path: signature match, inverse
+// reuse, dual-simplex cleanup, then phase 2. The "iters" metric is the
+// simplex pivot count — the warm path should need a small fraction of the
+// cold one's.
+func BenchmarkSimplexWarmVsCold(b *testing.B) {
+	s := exp.NewSetup(benchScale())
+	build := func(capScale float64) *sched.Instance {
+		demands := make([]sched.Demand, len(s.Requests))
+		for i, r := range s.Requests {
+			demands[i] = sched.Demand{
+				ID: i, Routes: r.Routes, Start: r.Start, End: r.End,
+				MaxBytes: r.Demand, ValuePerByte: r.Value,
+			}
+		}
+		capacity := make([][]float64, s.Net.NumEdges())
+		for _, e := range s.Net.Edges() {
+			capacity[e.ID] = make([]float64, s.Scale.Steps)
+			for t := range capacity[e.ID] {
+				capacity[e.ID][t] = e.Capacity * capScale
+			}
+		}
+		return &sched.Instance{
+			Net: s.Net, Horizon: s.Scale.Steps, Capacity: capacity,
+			Demands: demands, Cost: s.Cost, UseCostProxy: true,
+		}
+	}
+	base, err := build(1).Solve(lp.Options{})
+	if err != nil || base.Status != lp.Optimal {
+		b.Fatalf("base solve: %v %v", err, base.Status)
+	}
+	warm := base.Basis
+
+	run := func(b *testing.B, opts lp.Options) {
+		iters := 0
+		for i := 0; i < b.N; i++ {
+			res, err := build(0.98).Solve(opts)
+			if err != nil || res.Status != lp.Optimal {
+				b.Fatalf("solve: %v %v", err, res.Status)
+			}
+			iters += res.Iterations
+		}
+		b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+	}
+	b.Run("cold", func(b *testing.B) { run(b, lp.Options{}) })
+	b.Run("warm", func(b *testing.B) { run(b, lp.Options{WarmBasis: warm}) })
 }
 
 func BenchmarkConvergence(b *testing.B) {

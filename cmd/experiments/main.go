@@ -2,6 +2,11 @@
 // evaluation (§6). Each experiment prints the series/rows the paper
 // plots; EXPERIMENTS.md records paper-vs-measured values.
 //
+// Experiments run concurrently (bounded by exp.Workers) when more than
+// one is requested; each experiment renders into its own buffer and the
+// buffers are printed in the requested order, so the output is identical
+// to a sequential run.
+//
 // Usage:
 //
 //	experiments -list
@@ -10,8 +15,10 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -20,98 +27,105 @@ import (
 	"pretium/internal/exp"
 )
 
-var experiments = map[string]func(sc exp.Scale, seed int64) error{
-	"fig1": func(sc exp.Scale, seed int64) error {
-		printRows("Figure 1: CDF of 90th/10th percentile link-utilization ratio", exp.Figure1(sc, seed))
+// runCtx carries one experiment invocation's output sink, so concurrent
+// experiments never interleave writes to stdout.
+type runCtx struct {
+	out  io.Writer
+	plot bool
+}
+
+var experiments = map[string]func(rc *runCtx, sc exp.Scale, seed int64) error{
+	"fig1": func(rc *runCtx, sc exp.Scale, seed int64) error {
+		rc.printRows("Figure 1: CDF of 90th/10th percentile link-utilization ratio", exp.Figure1(sc, seed))
 		return nil
 	},
-	"fig2": func(sc exp.Scale, seed int64) error {
-		printRows("Figure 2: four-node worked example (optimal welfare = 34)", exp.Figure2())
+	"fig2": func(rc *runCtx, sc exp.Scale, seed int64) error {
+		rc.printRows("Figure 2: four-node worked example (optimal welfare = 34)", exp.Figure2())
 		return nil
 	},
-	"fig4": func(sc exp.Scale, seed int64) error {
-		printRows("Figure 4: price menus under two deadlines", exp.Figure4())
+	"fig4": func(rc *runCtx, sc exp.Scale, seed int64) error {
+		rc.printRows("Figure 4: price menus under two deadlines", exp.Figure4())
 		return nil
 	},
-	"fig5": func(sc exp.Scale, seed int64) error {
-		printRows("Figure 5: top-10% mean (z_e) vs 95th percentile (y_e) correlation", exp.Figure5(sc, seed))
+	"fig5": func(rc *runCtx, sc exp.Scale, seed int64) error {
+		rc.printRows("Figure 5: top-10% mean (z_e) vs 95th percentile (y_e) correlation", exp.Figure5(sc, seed))
 		return nil
 	},
-	"fig6": func(sc exp.Scale, seed int64) error {
+	"fig6": func(rc *runCtx, sc exp.Scale, seed int64) error {
 		sweep, err := exp.LoadSweep(sc, loadFactors(), exp.AllSchemes(), seed)
 		if err != nil {
 			return err
 		}
-		printRows("Figure 6: welfare relative to OPT vs load factor", exp.Figure6(sweep))
-		printRows("Figure 8: profit relative to |RegionOracle| vs load factor", exp.Figure8(sweep))
-		printRows("Figure 9: request completion fraction vs load factor", exp.Figure9(sweep))
+		rc.printRows("Figure 6: welfare relative to OPT vs load factor", exp.Figure6(sweep))
+		rc.printRows("Figure 8: profit relative to |RegionOracle| vs load factor", exp.Figure8(sweep))
+		rc.printRows("Figure 9: request completion fraction vs load factor", exp.Figure9(sweep))
 		return nil
 	},
-	"fig7": func(sc exp.Scale, seed int64) error {
+	"fig7": func(rc *runCtx, sc exp.Scale, seed int64) error {
 		a, b, c, err := exp.Figure7(sc, seed)
 		if err != nil {
 			return err
 		}
-		printRows("Figure 7a: price vs utilization over time (busiest priced link, load 2)", a)
-		printRows("Figure 7b: value achieved rel. OPT by value-per-byte bucket", b)
-		printRows("Figure 7c: admission price vs request value (sampled)", c)
+		rc.printRows("Figure 7a: price vs utilization over time (busiest priced link, load 2)", a)
+		rc.printRows("Figure 7b: value achieved rel. OPT by value-per-byte bucket", b)
+		rc.printRows("Figure 7c: admission price vs request value (sampled)", c)
 		return nil
 	},
-	"fig10": func(sc exp.Scale, seed int64) error {
+	"fig10": func(rc *runCtx, sc exp.Scale, seed int64) error {
 		rows, err := exp.Figure10(sc, []string{exp.SchemeRegionOracle, exp.SchemeVCGLike, exp.SchemePretium}, seed)
 		if err != nil {
 			return err
 		}
-		printRows("Figure 10: quantiles of per-link 90th-pct utilization, by scheme (load 1)", rows)
+		rc.printRows("Figure 10: quantiles of per-link 90th-pct utilization, by scheme (load 1)", rows)
 		return nil
 	},
-	"fig11": func(sc exp.Scale, seed int64) error {
+	"fig11": func(rc *runCtx, sc exp.Scale, seed int64) error {
 		rows, err := exp.Figure11(sc, loadFactors(), seed)
 		if err != nil {
 			return err
 		}
-		printRows("Figure 11: ablations — welfare rel. OPT (full vs NoMenu vs NoSAM)", rows)
+		rc.printRows("Figure 11: ablations — welfare rel. OPT (full vs NoMenu vs NoSAM)", rows)
 		return nil
 	},
-	"fig12": func(sc exp.Scale, seed int64) error {
+	"fig12": func(rc *runCtx, sc exp.Scale, seed int64) error {
 		rows, err := exp.Figure12(sc, []float64{0.5, 1, 1.5, 2, 3}, seed)
 		if err != nil {
 			return err
 		}
-		printRows("Figure 12: welfare rel. OPT vs mean link cost (load 1)", rows)
+		rc.printRows("Figure 12: welfare rel. OPT vs mean link cost (load 1)", rows)
 		return nil
 	},
-	"fig13": func(sc exp.Scale, seed int64) error {
+	"fig13": func(rc *runCtx, sc exp.Scale, seed int64) error {
 		f13, f14, err := exp.Figure13and14(sc, exp.ValueDistCases(), seed)
 		if err != nil {
 			return err
 		}
-		printRows("Figure 13: welfare rel. OPT across value distributions (load 1)", f13)
-		printRows("Figure 14: Pretium profit rel. |RegionOracle| across value distributions", f14)
+		rc.printRows("Figure 13: welfare rel. OPT across value distributions (load 1)", f13)
+		rc.printRows("Figure 14: Pretium profit rel. |RegionOracle| across value distributions", f14)
 		return nil
 	},
-	"table4": func(sc exp.Scale, seed int64) error {
+	"table4": func(rc *runCtx, sc exp.Scale, seed int64) error {
 		rows, err := exp.Table4(sc, seed)
 		if err != nil {
 			return err
 		}
-		printRows("Table 4: module runtimes (our solver, our scale — compare shape, not seconds)", rows)
+		rc.printRows("Table 4: module runtimes (our solver, our scale — compare shape, not seconds)", rows)
 		return nil
 	},
-	"incentives": func(sc exp.Scale, seed int64) error {
+	"incentives": func(rc *runCtx, sc exp.Scale, seed int64) error {
 		res, err := exp.Incentives(sc, 10, seed)
 		if err != nil {
 			return err
 		}
-		printRows("§5 incentives: single-request deadline misreports", res.Rows())
+		rc.printRows("§5 incentives: single-request deadline misreports", res.Rows())
 		return nil
 	},
-	"convergence": func(sc exp.Scale, seed int64) error {
+	"convergence": func(rc *runCtx, sc exp.Scale, seed int64) error {
 		rows, err := exp.Convergence(sc, 6, seed)
 		if err != nil {
 			return err
 		}
-		printRows("§4.4 price convergence over statistically identical days", rows)
+		rc.printRows("§4.4 price convergence over statistically identical days", rows)
 		return nil
 	},
 }
@@ -121,15 +135,12 @@ var order = []string{"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig10", "f
 
 func loadFactors() []float64 { return []float64{0.5, 1, 2, 3} }
 
-// plotMode is set by the -plot flag: render bar charts under each table.
-var plotMode bool
-
-func printRows(title string, rows []exp.Row) {
-	fmt.Printf("\n== %s ==\n", title)
+func (rc *runCtx) printRows(title string, rows []exp.Row) {
+	fmt.Fprintf(rc.out, "\n== %s ==\n", title)
 	for _, r := range rows {
-		fmt.Println("  " + r.Fmt())
+		fmt.Fprintln(rc.out, "  "+r.Fmt())
 	}
-	if !plotMode || len(rows) == 0 {
+	if !rc.plot || len(rows) == 0 {
 		return
 	}
 	// One bar chart per distinct column name.
@@ -141,8 +152,8 @@ func printRows(title string, rows []exp.Row) {
 			}
 			seen[c.Name] = true
 			if chart := exp.RenderBars(rows, c.Name, 48); chart != "" {
-				fmt.Println()
-				fmt.Print(chart)
+				fmt.Fprintln(rc.out)
+				fmt.Fprint(rc.out, chart)
 			}
 		}
 	}
@@ -157,7 +168,6 @@ func main() {
 		plot  = flag.Bool("plot", false, "render ASCII bar charts under each table")
 	)
 	flag.Parse()
-	plotMode = *plot
 
 	if *list || *name == "" {
 		names := make([]string, 0, len(experiments))
@@ -182,26 +192,44 @@ func main() {
 		os.Exit(2)
 	}
 
-	run := func(n string) {
-		f, ok := experiments[n]
-		if !ok {
+	var names []string
+	if *name == "all" {
+		names = order
+	} else {
+		for _, n := range strings.Split(*name, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+	for _, n := range names {
+		if _, ok := experiments[n]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", n)
 			os.Exit(2)
 		}
+	}
+
+	// Fan the experiments out across the worker pool, buffering each
+	// one's output, then flush the buffers in request order: the printed
+	// output matches a sequential run byte for byte (aside from the
+	// wall-clock stamps, which reflect the concurrent schedule).
+	bufs := make([]bytes.Buffer, len(names))
+	durs := make([]time.Duration, len(names))
+	err := exp.ParallelFor(len(names), func(i int) error {
 		start := time.Now()
-		if err := f(sc, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
-			os.Exit(1)
+		rc := &runCtx{out: &bufs[i], plot: *plot}
+		if err := experiments[names[i]](rc, sc, *seed); err != nil {
+			return fmt.Errorf("%s: %w", names[i], err)
 		}
-		fmt.Printf("  [%s done in %.1fs]\n", n, time.Since(start).Seconds())
-	}
-	if *name == "all" {
-		for _, n := range order {
-			run(n)
+		durs[i] = time.Since(start)
+		return nil
+	})
+	for i := range bufs {
+		os.Stdout.Write(bufs[i].Bytes())
+		if durs[i] > 0 {
+			fmt.Printf("  [%s done in %.1fs]\n", names[i], durs[i].Seconds())
 		}
-		return
 	}
-	for _, n := range strings.Split(*name, ",") {
-		run(strings.TrimSpace(n))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
 	}
 }

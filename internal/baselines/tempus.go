@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"fmt"
+	"sort"
 
 	"pretium/internal/graph"
 	"pretium/internal/lp"
@@ -25,6 +26,11 @@ func OnlineTE(n *graph.Network, reqs []*traffic.Request, cfg Config) (*sim.Outco
 	out := sim.NewOutcome(len(reqs), n, cfg.Horizon)
 	delivered := make([]float64, len(reqs))
 
+	// Terminal bases chained across timesteps for each stage; they only
+	// pay off when consecutive steps build structurally identical LPs
+	// (stable active set and horizon), and are ignored by the solver
+	// otherwise.
+	var stage1Basis, stage2Basis *lp.Basis
 	for t := 0; t < cfg.Horizon; t++ {
 		// Active requests: arrived, not expired, not finished.
 		type active struct {
@@ -84,18 +90,35 @@ func OnlineTE(n *graph.Network, reqs []*traffic.Request, cfg Config) (*sim.Outco
 			// Demand cap.
 			m.AddConstraint(lp.LE, ac.req.Demand-delivered[ac.reqIdx], terms...)
 		}
-		for e, byT := range edgeTerms {
-			for _, terms := range byT {
-				m.AddConstraint(lp.LE, n.Edge(e).Capacity, terms...)
+		// Deterministic row order: with degenerate optima the solution
+		// vertex depends on constraint order, so never build rows in map
+		// iteration order.
+		eids := make([]int, 0, len(edgeTerms))
+		for e := range edgeTerms {
+			eids = append(eids, int(e))
+		}
+		sort.Ints(eids)
+		for _, ei := range eids {
+			byT := edgeTerms[graph.EdgeID(ei)]
+			ts := make([]int, 0, len(byT))
+			for tt := range byT {
+				ts = append(ts, tt)
+			}
+			sort.Ints(ts)
+			for _, tt := range ts {
+				m.AddConstraint(lp.LE, n.Edge(graph.EdgeID(ei)).Capacity, byT[tt]...)
 			}
 		}
-		sol, err := m.Solve(cfg.Solver)
+		opts := cfg.Solver
+		opts.WarmBasis = stage1Basis
+		sol, err := m.Solve(opts)
 		if err != nil {
 			return nil, err
 		}
 		if sol.Status != lp.Optimal {
 			return nil, fmt.Errorf("baselines: OnlineTE stage-1 LP %v at t=%d", sol.Status, t)
 		}
+		stage1Basis = sol.Basis()
 		alphaStar := sol.X[alpha]
 
 		// Stage 2: fix alpha, maximize total bytes.
@@ -104,13 +127,15 @@ func OnlineTE(n *graph.Network, reqs []*traffic.Request, cfg Config) (*sim.Outco
 		for _, f := range flows {
 			m.SetObj(f.v, 1)
 		}
-		sol, err = m.Solve(cfg.Solver)
+		opts.WarmBasis = stage2Basis
+		sol, err = m.Solve(opts)
 		if err != nil {
 			return nil, err
 		}
 		if sol.Status != lp.Optimal {
 			return nil, fmt.Errorf("baselines: OnlineTE stage-2 LP %v at t=%d", sol.Status, t)
 		}
+		stage2Basis = sol.Basis()
 
 		// Realize only step-t allocations; everything later re-plans.
 		for _, f := range flows {

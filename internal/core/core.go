@@ -161,6 +161,13 @@ type Controller struct {
 	// trueCap is the physical per-(edge,step) capacity including faults,
 	// whether announced or not.
 	trueCap [][]float64
+	// samBasis and pcBasis hold the previous SAM / Price Computer terminal
+	// simplex bases. Successive solves of the same LP skeleton (same live
+	// demand set and horizon for SAM, same window shape for the PC) warm-
+	// start from them; structurally incompatible bases are ignored by the
+	// solver, so carrying them is always safe.
+	samBasis *lp.Basis
+	pcBasis  *lp.Basis
 }
 
 // New creates a controller for the request stream. Requests must be
@@ -516,18 +523,25 @@ func (c *Controller) runSAM(t int) error {
 		Capacity: capacity, FixedUsage: fixed,
 		Demands: demands, Cost: c.cfg.Cost, UseCostProxy: true,
 	}
-	res, err := ins.Solve(c.cfg.Solver)
+	built, err := ins.Build()
+	if err != nil {
+		return err
+	}
+	opts := c.cfg.Solver
+	opts.WarmBasis = c.samBasis
+	res, err := built.Solve(opts)
 	if err != nil {
 		return err
 	}
 	if res.Status != lp.Optimal {
 		// Guarantees no longer jointly schedulable (e.g. after capacity
-		// shocks); relax them and do best effort, counting reneges at
-		// the end.
-		for i := range ins.Demands {
-			ins.Demands[i].MinBytes = 0
-		}
-		res, err = ins.Solve(c.cfg.Solver)
+		// shocks); relax them in place and do best effort, counting
+		// reneges at the end. The relaxation only lowers GE right-hand
+		// sides, so the infeasible solve's terminal (phase-1) basis is a
+		// valid warm start for the retry — no rebuild, no cold phase 1.
+		built.RelaxGuarantees()
+		opts.WarmBasis = res.Basis
+		res, err = built.Solve(opts)
 		if err != nil {
 			return err
 		}
@@ -535,6 +549,7 @@ func (c *Controller) runSAM(t int) error {
 			return fmt.Errorf("core: SAM LP %v at t=%d", res.Status, t)
 		}
 	}
+	c.samBasis = res.Basis
 	// Replace forward plans and reservations with SAM's schedule.
 	for _, a := range live {
 		a.plan = a.plan[:0]
@@ -654,12 +669,15 @@ func (c *Controller) runPC(t int) {
 			capacity[e][i] = c.state.Capacity(graph.EdgeID(e), from+i)
 		}
 	}
-	window, err := pricing.ComputePrices(c.net, entries, capacity, period, period-w,
+	window, basis, err := pricing.ComputePricesBasis(c.net, entries, capacity, period, period-w,
 		pricing.ComputerConfig{
 			WindowLen: w, Cost: c.cfg.Cost,
 			MinPrice: c.cfg.MinPrice, CostFloorFrac: 1,
 			Solver: c.cfg.Solver,
-		})
+		}, c.pcBasis)
+	if basis != nil {
+		c.pcBasis = basis
+	}
 	if err != nil {
 		return // keep the old prices on solver trouble
 	}

@@ -208,16 +208,32 @@ type LoadSweepResult struct {
 }
 
 // LoadSweep runs every scheme across load factors; Figures 6, 8 and 9 are
-// different projections of its output.
+// different projections of its output. The (load, scheme) cells run
+// concurrently on up to Workers goroutines; every cell constructs its own
+// Setup from (sc, load, seed), so cells share nothing and the output is
+// identical to a sequential run regardless of scheduling.
 func LoadSweep(sc Scale, loads []float64, schemes []string, seed int64) ([]LoadSweepResult, error) {
-	var out []LoadSweepResult
-	for _, load := range loads {
+	results := make([]SchemeResult, len(loads)*len(schemes))
+	err := ParallelFor(len(results), func(i int) error {
+		load, scheme := loads[i/len(schemes)], schemes[i%len(schemes)]
 		s := NewSetup(sc, WithLoad(load), WithSeed(seed))
-		res, err := s.RunSchemes(schemes...)
+		r, err := s.RunScheme(scheme)
 		if err != nil {
-			return nil, fmt.Errorf("load %v: %w", load, err)
+			return fmt.Errorf("load %v: %s: %w", load, scheme, err)
 		}
-		out = append(out, LoadSweepResult{Load: load, Results: res})
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LoadSweepResult, len(loads))
+	for li, load := range loads {
+		res := make(map[string]SchemeResult, len(schemes))
+		for si, scheme := range schemes {
+			res[scheme] = results[li*len(schemes)+si]
+		}
+		out[li] = LoadSweepResult{Load: load, Results: res}
 	}
 	return out, nil
 }
@@ -408,12 +424,13 @@ func Figure10(sc Scale, schemes []string, seed int64) ([]Row, error) {
 // Figure11 is the ablation study: full Pretium vs Pretium-NoMenu vs
 // Pretium-NoSAM, welfare relative to OPT across load factors.
 func Figure11(sc Scale, loads []float64, seed int64) ([]Row, error) {
-	var rows []Row
-	for _, load := range loads {
+	rows := make([]Row, len(loads))
+	err := ParallelFor(len(loads), func(i int) error {
+		load := loads[i]
 		s := NewSetup(sc, WithLoad(load), WithSeed(seed))
 		res, err := s.RunSchemes(SchemeOPT, SchemePretium, SchemeNoMenu, SchemeNoSAM)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		opt := res[SchemeOPT].Report.Welfare
 		cols := []Col{}
@@ -424,7 +441,11 @@ func Figure11(sc Scale, loads []float64, seed int64) ([]Row, error) {
 			}
 			cols = append(cols, Col{Name: name, Value: rel})
 		}
-		rows = append(rows, Row{Label: fmt.Sprintf("load=%.2g", load), Columns: cols})
+		rows[i] = Row{Label: fmt.Sprintf("load=%.2g", load), Columns: cols}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -432,12 +453,13 @@ func Figure11(sc Scale, loads []float64, seed int64) ([]Row, error) {
 // Figure12 sweeps the mean link cost (x2 and beyond) at load 1 and
 // reports welfare relative to OPT for Pretium and RegionOracle.
 func Figure12(sc Scale, costScales []float64, seed int64) ([]Row, error) {
-	var rows []Row
-	for _, cs := range costScales {
+	rows := make([]Row, len(costScales))
+	err := ParallelFor(len(costScales), func(i int) error {
+		cs := costScales[i]
 		s := NewSetup(sc, WithLoad(1), WithCostScale(cs), WithSeed(seed))
 		res, err := s.RunSchemes(SchemeOPT, SchemePretium, SchemeRegionOracle)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		opt := res[SchemeOPT].Report.Welfare
 		rel := func(n string) float64 {
@@ -446,10 +468,14 @@ func Figure12(sc Scale, costScales []float64, seed int64) ([]Row, error) {
 			}
 			return res[n].Report.Welfare / opt
 		}
-		rows = append(rows, Row{Label: fmt.Sprintf("costx%.2g", cs), Columns: []Col{
+		rows[i] = Row{Label: fmt.Sprintf("costx%.2g", cs), Columns: []Col{
 			{Name: SchemePretium, Value: rel(SchemePretium)},
 			{Name: SchemeRegionOracle, Value: rel(SchemeRegionOracle)},
-		}})
+		}}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -484,11 +510,14 @@ func ValueDistCases() []ValueDistCase {
 // Figure13and14 sweeps value distributions at load 1: welfare relative to
 // OPT (Figure 13) and profit relative to RegionOracle (Figure 14).
 func Figure13and14(sc Scale, cases []ValueDistCase, seed int64) (f13, f14 []Row, err error) {
-	for _, vc := range cases {
+	f13 = make([]Row, len(cases))
+	f14 = make([]Row, len(cases))
+	err = ParallelFor(len(cases), func(i int) error {
+		vc := cases[i]
 		s := NewSetup(sc, WithLoad(1), WithValueDist(vc.Dist), WithSeed(seed))
 		res, err := s.RunSchemes(SchemeOPT, SchemePretium, SchemeRegionOracle)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		opt := res[SchemeOPT].Report.Welfare
 		rel := func(n string) float64 {
@@ -497,18 +526,22 @@ func Figure13and14(sc Scale, cases []ValueDistCase, seed int64) (f13, f14 []Row,
 			}
 			return res[n].Report.Welfare / opt
 		}
-		f13 = append(f13, Row{Label: vc.Name, Columns: []Col{
+		f13[i] = Row{Label: vc.Name, Columns: []Col{
 			{Name: SchemePretium, Value: rel(SchemePretium)},
 			{Name: SchemeRegionOracle, Value: rel(SchemeRegionOracle)},
-		}})
+		}}
 		ro := res[SchemeRegionOracle].Report.Profit
 		relP := res[SchemePretium].Report.Profit
 		if ro != 0 {
 			relP = relP / math.Abs(ro)
 		}
-		f14 = append(f14, Row{Label: vc.Name, Columns: []Col{
+		f14[i] = Row{Label: vc.Name, Columns: []Col{
 			{Name: "Pretium_profit_rel_RegionOracle", Value: relP},
-		}})
+		}}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return f13, f14, nil
 }

@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// renderRows flattens figure rows to the exact text a user would see.
+func renderRows(rows []Row) string {
+	var b strings.Builder
+	for _, r := range rows {
+		b.WriteString(r.Fmt())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestLoadSweepParallelDeterminism: LoadSweep with the worker pool must
+// produce byte-identical figure rows to the sequential path. Run under
+// `go test -race` this also shakes out data races between cells.
+func TestLoadSweepParallelDeterminism(t *testing.T) {
+	sc := Small()
+	loads := []float64{1, 2}
+	schemes := []string{SchemeOPT, SchemeNoPrices, SchemePretium}
+
+	run := func(workers int) string {
+		old := Workers
+		Workers = workers
+		defer func() { Workers = old }()
+		sweep, err := LoadSweep(sc, loads, schemes, 7)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return renderRows(Figure6(sweep)) + renderRows(Figure8(sweep)) + renderRows(Figure9(sweep))
+	}
+
+	seq := run(1)
+	par := run(4)
+	if seq != par {
+		t.Fatalf("parallel LoadSweep output differs from sequential.\nsequential:\n%s\nparallel:\n%s", seq, par)
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	old := Workers
+	Workers = 4
+	defer func() { Workers = old }()
+
+	const n = 237
+	var hits [n]atomic.Int32
+	if err := ParallelFor(n, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d executed %d times", i, got)
+		}
+	}
+}
+
+func TestParallelForReturnsLowestIndexError(t *testing.T) {
+	old := Workers
+	Workers = 4
+	defer func() { Workers = old }()
+
+	wantErr := errors.New("boom at 3")
+	err := ParallelFor(10, func(i int) error {
+		switch i {
+		case 3:
+			return wantErr
+		case 7:
+			return fmt.Errorf("boom at 7")
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want the lowest-index error %v", err, wantErr)
+	}
+}
+
+func TestParallelForSequentialFallback(t *testing.T) {
+	old := Workers
+	Workers = 0 // degenerate value must mean sequential, not deadlock
+	defer func() { Workers = old }()
+
+	sum := 0
+	if err := ParallelFor(5, func(i int) error {
+		sum += i // safe: single goroutine
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 10 {
+		t.Fatalf("sum = %d, want 10", sum)
+	}
+}

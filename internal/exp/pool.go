@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers bounds the concurrency of the experiment fan-out (LoadSweep and
+// the per-figure sweeps). It defaults to the machine's parallelism; tests
+// override it to exercise specific schedules. Values < 1 mean sequential.
+var Workers = runtime.GOMAXPROCS(0)
+
+// ParallelFor runs fn(0..n-1) across min(Workers, n) goroutines and blocks
+// until all complete. Work items are handed out by an atomic counter, so
+// the schedule is work-stealing but the caller-observable behavior is
+// deterministic as long as each fn(i) writes only to its own index slot:
+// results land in index order regardless of execution order, and the
+// returned error is the lowest-index failure, matching what a sequential
+// loop that continued past errors would report first.
+func ParallelFor(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Workers
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

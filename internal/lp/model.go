@@ -99,6 +99,12 @@ func (m *Model) NumRows() int { return len(m.rows) }
 // reuse one model skeleton across price updates.
 func (m *Model) SetObj(v Var, obj float64) { m.obj[v] = obj }
 
+// SetRHS overwrites the right-hand side of row r. Together with SetObj it
+// lets callers perturb and re-solve one model skeleton — e.g. relaxing
+// guarantee rows in place instead of rebuilding the whole LP — which is
+// exactly the case warm starts (Options.WarmBasis) accelerate.
+func (m *Model) SetRHS(r Row, rhs float64) { m.rhs[r] = rhs }
+
 // VarName returns the diagnostic name of v.
 func (m *Model) VarName(v Var) string { return m.names[v] }
 
@@ -190,7 +196,16 @@ type Solution struct {
 	ReducedCost []float64
 	// Iterations counts simplex pivots (both phases).
 	Iterations int
+
+	basis *Basis
 }
+
+// Basis returns the terminal simplex basis of the solve, for warm-starting
+// a later solve of a structurally identical model via Options.WarmBasis.
+// It is non-nil after Optimal solves and after Infeasible ones (where it
+// captures the phase-1 terminal basis — useful when the caller relaxes
+// constraints and retries). It is nil after Unbounded or IterLimit.
+func (s *Solution) Basis() *Basis { return s.basis }
 
 // Value evaluates a linear expression under the solution.
 func (s *Solution) Value(terms ...Term) float64 {
@@ -211,21 +226,40 @@ type Options struct {
 	// RefactorEvery rebuilds the basis inverse from scratch after this
 	// many pivots (fights floating-point drift); 0 means 512.
 	RefactorEvery int
+	// WarmBasis, when non-nil, starts the solve from this previously
+	// captured basis (see Solution.Basis) instead of running phase 1 from
+	// scratch. A basis that does not structurally match the model, is
+	// singular at refactorization, or is primal infeasible for the current
+	// data is ignored and the solve falls back to a cold start.
+	WarmBasis *Basis
+}
+
+// withDefaults normalizes the options against a standardized problem of n
+// columns and m rows: non-positive tolerances, iteration budgets, and
+// refactorization cadences are replaced with the documented defaults, so
+// call sites passing lp.Options{} (or accidentally negative values) get
+// well-defined behavior.
+func (o Options) withDefaults(n, m int) Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 2000 + 40*(n+m)
+	}
+	if o.RefactorEvery <= 0 {
+		o.RefactorEvery = defaultRefactorEvery
+	}
+	return o
 }
 
 // Solve optimizes the model and returns the solution. The model itself is
 // not modified, so it can be re-solved after edits.
 func (m *Model) Solve(opts Options) (*Solution, error) {
-	if opts.Tol == 0 {
-		opts.Tol = 1e-9
-	}
 	std, err := m.standardize()
 	if err != nil {
 		return nil, err
 	}
-	if opts.MaxIters == 0 {
-		opts.MaxIters = 2000 + 40*(std.n+std.m)
-	}
+	opts = opts.withDefaults(std.n, std.m)
 	res := std.solve(opts)
 	sol := &Solution{
 		Status:      res.status,
@@ -233,6 +267,7 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 		X:           make([]float64, m.NumVars()),
 		Dual:        make([]float64, m.NumRows()),
 		ReducedCost: make([]float64, m.NumVars()),
+		basis:       res.basis,
 	}
 	if res.status != Optimal {
 		return sol, nil

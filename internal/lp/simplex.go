@@ -194,6 +194,7 @@ type result struct {
 	y      []float64 // per row (duals of the minimization problem)
 	d      []float64 // reduced costs per standardized column
 	iters  int
+	basis  *Basis // terminal basis (Optimal and Infeasible outcomes)
 }
 
 // state is the revised-simplex working state.
@@ -204,59 +205,110 @@ type state struct {
 	basePos       []int       // column -> basis row + 1, or 0 if nonbasic
 	atUpper       []bool      // nonbasic-at-upper flag per column
 	xB            []float64   // basic variable values
+	wBuf          []float64   // scratch: Binv * A_q, reused every pivot
+	yBuf          []float64   // scratch: duals, reused across refactors
+	cand          []int       // partial-pricing candidate list
+	cursor        int         // partial-pricing scan position
 	tol           float64
 	iters         int
 	maxIter       int
 	refactorEvery int
+	sinceFactor   int // product-form pivots since binv was last refactorized
 }
 
 const defaultRefactorEvery = 512
 
 // solve runs phase 1 then phase 2 and extracts primal and dual values.
+// With a usable Options.WarmBasis, phase 1 is skipped entirely and phase 2
+// starts from the supplied basis.
 func (std *standard) solve(opts Options) result {
 	m := std.m
 	st := &state{
 		std:           std,
-		basis:         append([]int(nil), std.basisInit...),
+		basis:         make([]int, m),
 		basePos:       make([]int, std.n),
 		atUpper:       make([]bool, std.n),
-		xB:            append([]float64(nil), std.b...),
+		xB:            make([]float64, m),
+		wBuf:          make([]float64, m),
+		yBuf:          make([]float64, m),
 		tol:           opts.Tol,
 		maxIter:       opts.MaxIters,
 		refactorEvery: opts.RefactorEvery,
 	}
-	if st.refactorEvery <= 0 {
-		st.refactorEvery = defaultRefactorEvery
-	}
 	st.binv = identity(m)
-	for i, j := range st.basis {
-		st.basePos[j] = i + 1
-	}
 
-	// Phase 1: minimize the sum of artificial values.
-	needPhase1 := false
-	c1 := make([]float64, std.n)
-	for j, isArt := range std.art {
-		if isArt {
-			c1[j] = 1
-			needPhase1 = true
+	warm := false
+	if opts.WarmBasis.matches(std) {
+		switch st.installWarm(opts.WarmBasis) {
+		case warmPrimal:
+			warm = true
+		case warmRepair:
+			// Any RHS change typically knocks the old basis primal
+			// infeasible (xB = Binv·b sees every perturbation through the
+			// dense inverse) while leaving it dual feasible (reduced costs
+			// do not depend on b). A short dual-simplex cleanup restores
+			// primal feasibility in a few pivots; if it cannot, the solve
+			// falls back cold below.
+			warm = st.dualCleanup()
 		}
 	}
-	if needPhase1 {
-		status := st.optimize(c1, false)
-		if status == IterLimit {
-			return result{status: IterLimit, iters: st.iters}
-		}
-		infeas := 0.0
-		for i, j := range st.basis {
+	if warm {
+		// The basis is now primal feasible, so phase 1 is unnecessary;
+		// basic artificials (all verified ~0) are expelled where possible,
+		// exactly as after a cold phase 1.
+		for _, j := range st.basis {
 			if std.art[j] {
-				infeas += st.xB[i]
+				st.expelArtificials()
+				break
 			}
 		}
-		if infeas > 1e-7 {
-			return result{status: Infeasible, iters: st.iters}
+	} else {
+		// Cold start from the slack/artificial basis. A failed warm
+		// install leaves the state dirty, so reset everything.
+		copy(st.basis, std.basisInit)
+		for j := range st.basePos {
+			st.basePos[j] = 0
 		}
-		st.expelArtificials()
+		for j := range st.atUpper {
+			st.atUpper[j] = false
+		}
+		for i := range st.binv {
+			row := st.binv[i]
+			for k := range row {
+				row[k] = 0
+			}
+			row[i] = 1
+		}
+		copy(st.xB, std.b)
+		for i, j := range st.basis {
+			st.basePos[j] = i + 1
+		}
+
+		// Phase 1: minimize the sum of artificial values.
+		needPhase1 := false
+		c1 := make([]float64, std.n)
+		for j, isArt := range std.art {
+			if isArt {
+				c1[j] = 1
+				needPhase1 = true
+			}
+		}
+		if needPhase1 {
+			status := st.optimize(c1, false)
+			if status == IterLimit {
+				return result{status: IterLimit, iters: st.iters}
+			}
+			infeas := 0.0
+			for i, j := range st.basis {
+				if std.art[j] {
+					infeas += st.xB[i]
+				}
+			}
+			if infeas > 1e-7 {
+				return result{status: Infeasible, iters: st.iters, basis: st.capture()}
+			}
+			st.expelArtificials()
+		}
 	}
 
 	// Phase 2: the real objective, artificials locked out of pricing.
@@ -265,6 +317,7 @@ func (std *standard) solve(opts Options) result {
 	if status != Optimal {
 		return res
 	}
+	res.basis = st.capture()
 	res.x = make([]float64, std.n)
 	for j := range res.x {
 		if st.atUpper[j] {
@@ -274,7 +327,7 @@ func (std *standard) solve(opts Options) result {
 	for i, j := range st.basis {
 		res.x[j] = st.xB[i]
 	}
-	res.y = st.duals(std.c)
+	res.y = append([]float64(nil), st.duals(std.c)...)
 	res.d = make([]float64, std.n)
 	for j := 0; j < std.n; j++ {
 		dj := std.c[j]
@@ -295,10 +348,13 @@ func identity(m int) [][]float64 {
 	return b
 }
 
-// duals computes y = c_B * Binv.
+// duals computes y = c_B * Binv into the reusable scratch buffer.
 func (st *state) duals(costs []float64) []float64 {
 	m := st.std.m
-	y := make([]float64, m)
+	y := st.yBuf
+	for k := range y {
+		y[k] = 0
+	}
 	for i, j := range st.basis {
 		cb := costs[j]
 		if cb == 0 {
@@ -346,10 +402,14 @@ func (st *state) expelArtificials() {
 	}
 }
 
-// colTimesBinv returns w = Binv * A_q.
+// colTimesBinv returns w = Binv * A_q in the reusable scratch buffer
+// (valid until the next call; every pivot consumes it immediately).
 func (st *state) colTimesBinv(q int) []float64 {
 	m := st.std.m
-	w := make([]float64, m)
+	w := st.wBuf
+	for i := range w {
+		w[i] = 0
+	}
 	for _, e := range st.std.cols[q] {
 		v := e.val
 		for i := 0; i < m; i++ {
@@ -449,6 +509,7 @@ func (st *state) refactor() bool {
 	for i := 0; i < m; i++ {
 		copy(st.binv[i], a[i][m:])
 	}
+	st.sinceFactor = 0
 	st.recomputeXB()
 	return true
 }
@@ -477,6 +538,280 @@ func (st *state) recomputeXB() {
 	}
 }
 
+// reducedCost computes the reduced cost of column j under duals y.
+func (st *state) reducedCost(costs, y []float64, j int) float64 {
+	d := costs[j]
+	for _, e := range st.std.cols[j] {
+		d -= y[e.row] * e.val
+	}
+	return d
+}
+
+// violation maps a nonbasic column's reduced cost to its pricing
+// violation: positive when entering the column improves the objective
+// (rising from lower, or falling from upper), zero otherwise.
+func (st *state) violation(j int, d float64) (viol float64, fromUpper bool) {
+	if st.atUpper[j] {
+		if d > st.tol {
+			return d, true
+		}
+	} else if d < -st.tol {
+		return -d, false
+	}
+	return 0, false
+}
+
+// pricePartial is candidate-list partial pricing: surviving candidates
+// from earlier scans are re-priced first and the most violated one enters;
+// only when the list drains does the scan resume from a rotating cursor,
+// in chunks, stopping as soon as a chunk yields violations. A full wrap
+// with no violation proves optimality under the current duals — the same
+// certificate the full Dantzig scan gives, at a fraction of the
+// per-iteration cost on wide LPs.
+func (st *state) pricePartial(costs, y []float64, skipArt bool) (q int, fromUpper bool, qD float64) {
+	std := st.std
+	kept := st.cand[:0]
+	q = -1
+	var qViol float64
+	for _, j := range st.cand {
+		if st.basePos[j] != 0 {
+			continue
+		}
+		d := st.reducedCost(costs, y, j)
+		viol, fu := st.violation(j, d)
+		if viol == 0 {
+			continue
+		}
+		kept = append(kept, j)
+		if viol > qViol {
+			q, qViol, fromUpper, qD = j, viol, fu, d
+		}
+	}
+	st.cand = kept
+	if q >= 0 {
+		return q, fromUpper, qD
+	}
+	const candCap = 32
+	chunk := std.n / 8
+	if chunk < 64 {
+		chunk = 64
+	}
+	for scanned := 0; scanned < std.n; {
+		stop := scanned + chunk
+		if stop > std.n {
+			stop = std.n
+		}
+		for ; scanned < stop; scanned++ {
+			j := st.cursor
+			st.cursor++
+			if st.cursor >= std.n {
+				st.cursor = 0
+			}
+			if st.basePos[j] != 0 || (skipArt && std.art[j]) {
+				continue
+			}
+			d := st.reducedCost(costs, y, j)
+			viol, fu := st.violation(j, d)
+			if viol == 0 {
+				continue
+			}
+			if len(st.cand) < candCap {
+				st.cand = append(st.cand, j)
+			}
+			if viol > qViol {
+				q, qViol, fromUpper, qD = j, viol, fu, d
+			}
+		}
+		if q >= 0 {
+			return q, fromUpper, qD
+		}
+	}
+	return -1, false, 0
+}
+
+// partialPricingMinCols gates candidate-list pricing: below this column
+// count a full Dantzig scan is cheap relative to the O(m²) basis update,
+// and its better entering choices (fewest pivots) win; above it the
+// per-iteration pricing cost dominates and partial pricing pays.
+const partialPricingMinCols = 512
+
+// priceDantzig is the classic full scan: the most violated column enters.
+func (st *state) priceDantzig(costs, y []float64, skipArt bool) (q int, fromUpper bool, qD float64) {
+	std := st.std
+	q = -1
+	var qViol float64
+	for j := 0; j < std.n; j++ {
+		if st.basePos[j] != 0 || (skipArt && std.art[j]) {
+			continue
+		}
+		d := st.reducedCost(costs, y, j)
+		viol, fu := st.violation(j, d)
+		if viol > qViol {
+			q, qViol, fromUpper, qD = j, viol, fu, d
+		}
+	}
+	return q, fromUpper, qD
+}
+
+// priceBland is the anti-cycling fallback: the lowest-index violated
+// column enters (Bland's rule), scanning every column.
+func (st *state) priceBland(costs, y []float64, skipArt bool) (q int, fromUpper bool, qD float64) {
+	std := st.std
+	for j := 0; j < std.n; j++ {
+		if st.basePos[j] != 0 || (skipArt && std.art[j]) {
+			continue
+		}
+		d := st.reducedCost(costs, y, j)
+		if viol, fu := st.violation(j, d); viol != 0 {
+			return j, fu, d
+		}
+	}
+	return -1, false, 0
+}
+
+// dualCleanup restores primal feasibility of a warm-installed basis with
+// the bounded-variable dual simplex. It requires the basis to be dual
+// feasible under the phase-2 costs (which RHS-only perturbations preserve);
+// each pivot expels the most primally infeasible basic variable, entering
+// the column that wins the dual ratio test, until every basic value is back
+// within bounds. Artificial columns are held to an effective upper bound of
+// zero and never enter. It reports success; on false the state is dirty and
+// the caller must fall back to a cold start. It never concludes
+// infeasibility — an exhausted ratio test (dual unboundedness up to
+// tolerance) also just falls back cold, where phase 1 gives the authoritative
+// answer.
+func (st *state) dualCleanup() bool {
+	std := st.std
+	m := std.m
+	const pivTol = 1e-9
+	const dualTol = 1e-7
+
+	// Dual feasibility check: no nonbasic, non-artificial column may have a
+	// phase-2 pricing violation. (Artificials never enter, so their reduced
+	// costs are irrelevant.) dualTol is looser than the pricing tolerance
+	// because the freshly refactorized inverse reproduces the captured
+	// optimum's duals only up to roundoff.
+	y := st.duals(std.c)
+	for j := 0; j < std.n; j++ {
+		if st.basePos[j] != 0 || std.art[j] {
+			continue
+		}
+		d := st.reducedCost(std.c, y, j)
+		if st.atUpper[j] {
+			if d > dualTol {
+				return false
+			}
+		} else if d < -dualTol {
+			return false
+		}
+	}
+
+	limit := 4*m + 100
+	for iter := 0; ; iter++ {
+		if iter >= limit || st.iters >= st.maxIter {
+			return false
+		}
+		if st.sinceFactor >= st.refactorEvery {
+			if !st.refactor() {
+				return false
+			}
+			y = st.duals(std.c)
+		}
+
+		// Leaving row: the most out-of-bounds basic variable.
+		r, below := -1, false
+		worst := warmFeasTol
+		for i := 0; i < m; i++ {
+			if v := -st.xB[i]; v > worst {
+				r, below, worst = i, true, v
+			}
+			if v := st.xB[i] - st.effUpper(st.basis[i]); v > worst {
+				r, below, worst = i, false, v
+			}
+		}
+		if r < 0 {
+			// Primal feasible; clamp roundoff residue like the primal loop.
+			for i := 0; i < m; i++ {
+				if st.xB[i] < 0 {
+					st.xB[i] = 0
+				}
+			}
+			return true
+		}
+
+		// Dual ratio test over row r of the tableau. Eligible entering
+		// columns move xB[r] toward its violated bound; among them the
+		// smallest |d|/|alpha| keeps every reduced cost on its feasible
+		// side after the dual update. Lowest index wins ties, keeping the
+		// cleanup deterministic.
+		rho := st.binv[r]
+		q, best := -1, math.Inf(1)
+		for j := 0; j < std.n; j++ {
+			if st.basePos[j] != 0 || std.art[j] {
+				continue
+			}
+			alpha := 0.0
+			for _, e := range std.cols[j] {
+				alpha += rho[e.row] * e.val
+			}
+			ok := false
+			if below {
+				// xB[r] must increase: raising an at-lower column with
+				// alpha<0, or lowering an at-upper column with alpha>0.
+				ok = (!st.atUpper[j] && alpha < -pivTol) || (st.atUpper[j] && alpha > pivTol)
+			} else {
+				ok = (!st.atUpper[j] && alpha > pivTol) || (st.atUpper[j] && alpha < -pivTol)
+			}
+			if !ok {
+				continue
+			}
+			d := st.reducedCost(std.c, y, j)
+			if ratio := math.Abs(d) / math.Abs(alpha); ratio < best {
+				q, best = j, ratio
+			}
+		}
+		if q < 0 {
+			return false // dual unbounded up to tolerance: let phase 1 decide
+		}
+
+		w := st.colTimesBinv(q)
+		if math.Abs(w[r]) < pivTol {
+			return false // numerically unusable pivot
+		}
+		sigma := 1.0
+		if st.atUpper[q] {
+			sigma = -1
+		}
+		target := 0.0
+		if !below {
+			target = st.effUpper(st.basis[r])
+		}
+		t := (st.xB[r] - target) / (sigma * w[r])
+		if t < 0 {
+			if t < -warmFeasTol {
+				return false // eligibility and pivot sign disagree: numerics
+			}
+			t = 0
+		}
+		for i := 0; i < m; i++ {
+			st.xB[i] -= t * sigma * w[i]
+		}
+		enterVal := t
+		if st.atUpper[q] {
+			enterVal = std.up[q] - t
+		}
+		leavingCol := st.basis[r]
+		st.updateBasis(q, r, w)
+		st.xB[r] = enterVal
+		// The leaving variable rests at the bound it was pushed to; an
+		// artificial's "upper" bound is its lower bound, zero.
+		st.atUpper[leavingCol] = !below && !std.art[leavingCol]
+		st.iters++
+		st.sinceFactor++
+		y = st.duals(std.c)
+	}
+}
+
 // optimize runs the bounded-variable revised simplex to optimality under
 // the given cost vector. When skipArt is true, artificial columns never
 // enter the basis.
@@ -484,58 +819,35 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 	std := st.std
 	m := std.m
 	stall := 0
-	sinceRefactor := 0
 	// Duals are maintained incrementally across pivots (y' = y +
 	// (d_q/w_r)·ρ_r with ρ_r the leaving row of the old inverse) and
 	// recomputed from scratch only at refactorization points.
 	y := st.duals(costs)
+	st.cand = st.cand[:0]
 	for {
 		if st.iters >= st.maxIter {
 			return IterLimit
 		}
-		if sinceRefactor >= st.refactorEvery {
+		if st.sinceFactor >= st.refactorEvery {
 			if !st.refactor() {
 				return IterLimit
 			}
-			sinceRefactor = 0
 			y = st.duals(costs)
 		}
 
-		// Pricing: Dantzig by default, Bland under stalling.
+		// Pricing: Dantzig on narrow LPs, candidate-list partial pricing on
+		// wide ones, Bland under stalling.
 		bland := stall > 64
-		q := -1
-		var qViol, qD float64
+		var q int
+		var qD float64
 		var qFromUpper bool
-		for j := 0; j < std.n; j++ {
-			if st.basePos[j] != 0 {
-				continue
-			}
-			if skipArt && std.art[j] {
-				continue
-			}
-			d := costs[j]
-			for _, e := range std.cols[j] {
-				d -= y[e.row] * e.val
-			}
-			var viol float64
-			var fromUpper bool
-			if st.atUpper[j] {
-				if d > st.tol {
-					viol, fromUpper = d, true
-				}
-			} else if d < -st.tol {
-				viol = -d
-			}
-			if viol == 0 {
-				continue
-			}
-			if bland {
-				q, qFromUpper, qD = j, fromUpper, d
-				break
-			}
-			if viol > qViol {
-				q, qViol, qFromUpper, qD = j, viol, fromUpper, d
-			}
+		switch {
+		case bland:
+			q, qFromUpper, qD = st.priceBland(costs, y, skipArt)
+		case std.n >= partialPricingMinCols:
+			q, qFromUpper, qD = st.pricePartial(costs, y, skipArt)
+		default:
+			q, qFromUpper, qD = st.priceDantzig(costs, y, skipArt)
 		}
 		if q < 0 {
 			return Optimal
@@ -582,7 +894,7 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 			return Unbounded
 		}
 		st.iters++
-		sinceRefactor++
+		st.sinceFactor++
 		if tMax <= st.tol {
 			stall++
 		} else {

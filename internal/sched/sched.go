@@ -18,6 +18,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"pretium/internal/cost"
 	"pretium/internal/graph"
@@ -48,6 +49,17 @@ type Demand struct {
 	// capping what any one customer can hold keeps elephants from
 	// driving prices beyond everyone else's reach.
 	RateCap float64
+}
+
+// sortedKeys returns the keys of an int-keyed map in ascending order, so
+// model construction never depends on map iteration order.
+func sortedKeys[V any](m map[int]V) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
 }
 
 // allowedAt reports whether t is schedulable for the demand, given the
@@ -117,12 +129,49 @@ type Result struct {
 	Price [][]float64
 	// Iterations counts simplex pivots.
 	Iterations int
+	// Basis is the terminal simplex basis, for warm-starting the next
+	// solve of a structurally identical instance (see lp.Options.WarmBasis).
+	// Non-nil after Optimal and Infeasible solves.
+	Basis *lp.Basis
+}
+
+// flowVar records where a flow variable came from: demand d, route r,
+// timestep t.
+type flowVar struct {
+	v       lp.Var
+	d, r, t int
+}
+
+// Built is a constructed-but-reusable scheduling LP. Building the model is
+// itself a nontrivial cost for SAM-sized instances, and keeping the model
+// around lets callers perturb it in place (RelaxGuarantees) and re-solve
+// with a warm basis instead of rebuilding from scratch.
+type Built struct {
+	ins    *Instance
+	model  *lp.Model
+	flows  []flowVar
+	capRow map[int]map[int]lp.Row
+	defRow map[int]map[int]lp.Row
+	// guaranteeRows are the GE rows from demands with MinBytes > 0, in
+	// demand order, so infeasible instances can be relaxed in place.
+	guaranteeRows []lp.Row
 }
 
 // Solve builds the LP and optimizes it. It returns an error for malformed
 // instances; infeasibility (e.g. guarantees that no longer fit) is
-// reported via Result.Status so callers can relax and retry.
+// reported via Result.Status so callers can relax and retry. Callers that
+// may need to relax-and-retry or warm-start later solves should use Build
+// and Built.Solve instead, which keep the model.
 func (ins *Instance) Solve(opts lp.Options) (*Result, error) {
+	b, err := ins.Build()
+	if err != nil {
+		return nil, err
+	}
+	return b.Solve(opts)
+}
+
+// Build constructs the scheduling LP without solving it.
+func (ins *Instance) Build() (*Built, error) {
 	if ins.Horizon <= 0 || ins.StartStep < 0 || ins.StartStep > ins.Horizon {
 		return nil, fmt.Errorf("sched: bad time axis [%d, %d)", ins.StartStep, ins.Horizon)
 	}
@@ -135,11 +184,8 @@ func (ins *Instance) Solve(opts lp.Options) (*Result, error) {
 	m.SetMaximize(true)
 
 	// Flow variables, grouped per (edge, time) for capacity rows.
-	type flowVar struct {
-		v       lp.Var
-		d, r, t int
-	}
 	var flows []flowVar
+	var guaranteeRows []lp.Row
 	loadTerms := make(map[int]map[int][]lp.Term) // edge -> t -> terms
 	addLoad := func(e, t int, v lp.Var) {
 		byT, ok := loadTerms[e]
@@ -181,8 +227,8 @@ func (ins *Instance) Solve(opts lp.Options) (*Result, error) {
 				}
 			}
 		}
-		for _, terms := range perStep {
-			m.AddConstraint(lp.LE, d.RateCap, terms...)
+		for _, t := range sortedKeys(perStep) {
+			m.AddConstraint(lp.LE, d.RateCap, perStep[t]...)
 		}
 		if len(dTerms) == 0 {
 			if d.MinBytes > 1e-9 {
@@ -195,17 +241,21 @@ func (ins *Instance) Solve(opts lp.Options) (*Result, error) {
 		}
 		m.AddConstraint(lp.LE, d.MaxBytes, dTerms...)
 		if d.MinBytes > 1e-9 {
-			m.AddConstraint(lp.GE, d.MinBytes, dTerms...)
+			guaranteeRows = append(guaranteeRows, m.AddConstraint(lp.GE, d.MinBytes, dTerms...))
 		}
 	}
 
-	// Capacity rows (only where flow exists) and price bookkeeping.
+	// Capacity rows (only where flow exists) and price bookkeeping. Row
+	// order must not depend on map iteration: with degenerate optima, the
+	// simplex vertex (and its duals — the published prices) depends on row
+	// order, so an unsorted build makes whole-figure output vary run to run.
 	capRow := make(map[int]map[int]lp.Row)
 	defRow := make(map[int]map[int]lp.Row)
-	for e, byT := range loadTerms {
+	for _, e := range sortedKeys(loadTerms) {
+		byT := loadTerms[e]
 		capRow[e] = make(map[int]lp.Row)
-		for t, terms := range byT {
-			capRow[e][t] = m.AddConstraint(lp.LE, ins.Capacity[e][t], terms...)
+		for _, t := range sortedKeys(byT) {
+			capRow[e][t] = m.AddConstraint(lp.LE, ins.Capacity[e][t], byT[t]...)
 		}
 	}
 
@@ -283,6 +333,34 @@ func (ins *Instance) Solve(opts lp.Options) (*Result, error) {
 		}
 	}
 
+	return &Built{
+		ins:           ins,
+		model:         m,
+		flows:         flows,
+		capRow:        capRow,
+		defRow:        defRow,
+		guaranteeRows: guaranteeRows,
+	}, nil
+}
+
+// RelaxGuarantees zeroes the right-hand side of every guarantee row in
+// place — the SAM "shed guarantees" fallback for instances whose remaining
+// guarantees no longer fit after capacity loss. Because only rhs values
+// change (and GE rhs stays nonnegative), the model keeps its standardized
+// structure, so a basis captured from the infeasible solve warm-starts the
+// relaxed re-solve.
+func (b *Built) RelaxGuarantees() {
+	for _, r := range b.guaranteeRows {
+		b.model.SetRHS(r, 0)
+	}
+}
+
+// Solve optimizes the built model. It can be called repeatedly after
+// in-place perturbations (RelaxGuarantees), ideally passing the previous
+// Result.Basis via opts.WarmBasis.
+func (b *Built) Solve(opts lp.Options) (*Result, error) {
+	ins, m := b.ins, b.model
+	ne := ins.Net.NumEdges()
 	sol, err := m.Solve(opts)
 	if err != nil {
 		return nil, err
@@ -290,6 +368,7 @@ func (ins *Instance) Solve(opts lp.Options) (*Result, error) {
 	res := &Result{
 		Status:     sol.Status,
 		Iterations: sol.Iterations,
+		Basis:      sol.Basis(),
 		Delivered:  make([]float64, len(ins.Demands)),
 		EdgeUsage:  make([][]float64, ne),
 		Price:      make([][]float64, ne),
@@ -302,15 +381,15 @@ func (ins *Instance) Solve(opts lp.Options) (*Result, error) {
 		return res, nil
 	}
 	res.Objective = sol.Objective
-	for _, f := range flows {
-		b := sol.X[f.v]
-		if b < 1e-9 {
+	for _, f := range b.flows {
+		bytes := sol.X[f.v]
+		if bytes < 1e-9 {
 			continue
 		}
-		res.Allocs = append(res.Allocs, Alloc{DemandIdx: f.d, RouteIdx: f.r, Time: f.t, Bytes: b})
-		res.Delivered[f.d] += b
+		res.Allocs = append(res.Allocs, Alloc{DemandIdx: f.d, RouteIdx: f.r, Time: f.t, Bytes: bytes})
+		res.Delivered[f.d] += bytes
 		for _, eid := range ins.Demands[f.d].Routes[f.r] {
-			res.EdgeUsage[eid][f.t] += b
+			res.EdgeUsage[eid][f.t] += bytes
 		}
 	}
 	// Prices: capacity shadow price plus marginal cost burden. Solution
@@ -319,14 +398,14 @@ func (ins *Instance) Solve(opts lp.Options) (*Result, error) {
 	// raising capacity can only help, and raising the rhs of
 	// "Σ flows - L = -fixed" relieves a unit of charged load, gaining
 	// exactly the marginal C_e z_e burden.
-	for e, byT := range capRow {
+	for e, byT := range b.capRow {
 		for t, row := range byT {
 			if p := sol.Dual[row]; p > 0 {
 				res.Price[e][t] += p
 			}
 		}
 	}
-	for e, byT := range defRow {
+	for e, byT := range b.defRow {
 		for t, row := range byT {
 			if d := sol.Dual[row]; d > 0 {
 				res.Price[e][t] += d
