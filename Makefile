@@ -15,5 +15,10 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# bench runs the root experiment benchmarks, then the admission-path
+# micro-benchmarks with a machine-readable report in BENCH_admission.json
+# (regression gate for the quote-engine fast path).
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+	$(GO) test -run '^$$' -bench 'QuoteMenu|Admit' -benchmem ./internal/pricing | \
+		$(GO) run ./cmd/benchjson -out BENCH_admission.json

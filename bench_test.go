@@ -306,3 +306,20 @@ func BenchmarkMenuQuoting(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAdmitterServing measures the full admission step — quote,
+// Theorem 5.2 purchase, commit — through the exported batched front-end,
+// over the Small-scale request stream (reservations accumulate, so later
+// iterations quote against a loaded network, as a live RA would).
+func BenchmarkAdmitterServing(b *testing.B) {
+	s := exp.NewSetup(benchScale())
+	st := pretium.NewPriceState(s.Net, benchScale().Steps, 0.2)
+	ad := pretium.NewAdmitter(st)
+	reqs := s.Requests
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := reqs[i%len(reqs)]
+		ad.Admit(r)
+	}
+}

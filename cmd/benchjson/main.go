@@ -1,0 +1,103 @@
+// Benchjson converts `go test -bench` output read from stdin into a JSON
+// report. Raw lines pass through to stdout unchanged, so it sits at the
+// end of a pipe without hiding the human-readable results:
+//
+//	go test -run '^$' -bench Admit -benchmem ./internal/pricing | \
+//	    go run ./cmd/benchjson -out BENCH_admission.json
+//
+// Every benchmark line becomes {name, iterations, metrics}: metrics maps
+// each reported unit (ns/op, B/op, allocs/op, custom ReportMetric units)
+// to its value, with the -cpucount suffix stripped from the name. Header
+// lines (goos, goarch, pkg, cpu) are captured as metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Meta    map[string]string `json:"meta"`
+	Results []result          `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file (default: stdout after the raw lines)")
+	flag.Parse()
+
+	rep := report{Meta: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if r, ok := parseBenchLine(line); ok {
+			rep.Results = append(rep.Results, r)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			switch k := strings.TrimSuffix(fields[0], ":"); k {
+			case "goos", "goarch", "pkg", "cpu":
+				rep.Meta[k] = strings.Join(fields[1:], " ")
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one "BenchmarkName-8  N  v1 u1  v2 u2 ..." line.
+func parseBenchLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}

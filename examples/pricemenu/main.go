@@ -22,13 +22,14 @@ func main() {
 	routes := net.KShortestPaths(s, t, 2)
 
 	st := pretium.NewPriceState(net, 2, 1) // unit internal prices
+	ad := pretium.NewAdmitter(st)          // the RA serving front-end
 
 	quoteAndPrint := func(name string, end int) {
 		req := &pretium.Request{
 			ID: 0, Src: s, Dst: t, Routes: routes,
 			Start: 0, End: end, Demand: 8, Value: 100,
 		}
-		menu := pretium.QuoteMenu(st, req, req.Demand)
+		menu := ad.Quote(req, req.Demand)
 		fmt.Printf("%s (deadline t=%d): guarantee cap x̄ = %.2f\n", name, end, menu.Cap())
 		fmt.Printf("  %-8s %-12s %s\n", "bytes", "total price", "marginal")
 		for _, x := range []float64{1, 2, 3, 4} {

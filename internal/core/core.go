@@ -145,7 +145,10 @@ type Controller struct {
 	cfg     Config
 	net     *graph.Network
 	state   *pricing.State
-	reqs    []*traffic.Request
+	// admitter is the RA serving front-end: it owns the quoting scratch
+	// reused across every admission-path quote the controller makes.
+	admitter *pricing.Admitter
+	reqs     []*traffic.Request
 	active  []*admState
 	outcome *sim.Outcome
 	history []pricing.HistoryEntry
@@ -206,7 +209,7 @@ func New(net *graph.Network, reqs []*traffic.Request, cfg Config) (*Controller, 
 		}
 		p := cfg.InitialPrice + e.CostPerUnit/float64(w)
 		for t := 0; t < cfg.Horizon; t++ {
-			st.BasePrice[e.ID][t] = p
+			st.SetBasePrice(e.ID, t, p)
 		}
 	}
 	if cfg.HighPriFraction > 0 {
@@ -221,6 +224,7 @@ func New(net *graph.Network, reqs []*traffic.Request, cfg Config) (*Controller, 
 		cfg:            cfg,
 		net:            net,
 		state:          st,
+		admitter:       pricing.NewAdmitter(st),
 		reqs:           reqs,
 		outcome:        sim.NewOutcome(len(reqs), net, cfg.Horizon),
 		Admitted:       make([]bool, len(reqs)),
@@ -283,8 +287,7 @@ func (c *Controller) announceFaults(t int) {
 			if tt < t {
 				continue
 			}
-			loss := cap * (1 - f.Factor)
-			c.state.HighPri[f.Edge][tt] += loss
+			c.state.AddHighPri(f.Edge, tt, cap*(1-f.Factor))
 		}
 	}
 }
@@ -346,19 +349,19 @@ func (c *Controller) admit(r *traffic.Request) {
 	var adm *pricing.Admission
 	switch {
 	case c.cfg.Purchase != nil:
-		menu := pricing.QuoteMenu(c.state, r, maxBuy)
+		menu := c.admitter.Quote(r, maxBuy)
 		bought := c.cfg.Purchase(menu, r)
 		if bought > maxBuy {
 			bought = maxBuy
 		}
 		adm = pricing.Commit(c.state, r, menu, bought)
 	case c.cfg.EnableMenu:
-		menu := pricing.QuoteMenu(c.state, r, maxBuy)
+		menu := c.admitter.Quote(r, maxBuy)
 		adm = pricing.Commit(c.state, r, menu, menu.Purchase(r.Value, maxBuy))
 	default:
 		// NoMenu ablation: all-or-nothing — take the full demand iff it
 		// is fully guaranteeable and worth it in aggregate.
-		menu := pricing.QuoteMenu(c.state, r, r.Demand)
+		menu := c.admitter.Quote(r, r.Demand)
 		if menu.Cap() >= r.Demand-1e-9 && menu.Price(r.Demand) <= r.Value*r.Demand {
 			adm = pricing.Commit(c.state, r, menu, r.Demand)
 		}
@@ -395,7 +398,7 @@ func (c *Controller) admitRate(r *traffic.Request) {
 		stepReq := *r
 		stepReq.Start, stepReq.End = t, t
 		stepReq.Demand = rate
-		menu := pricing.QuoteMenu(c.state, &stepReq, rate)
+		menu := c.admitter.Quote(&stepReq, rate)
 		if menu.Cap() < feasibleRate {
 			feasibleRate = menu.Cap()
 		}

@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"pretium/internal/pricing"
+	"pretium/internal/sim"
+	"pretium/internal/traffic"
+)
+
+// RunAdmissionOnly serves the setup's whole arrival stream through the
+// batched RA front-end alone — static prices, no SAM, no price
+// recomputation — and replays the preliminary schedules as the realized
+// outcome. It isolates the admission fast path end to end (menus,
+// Theorem 5.2 purchases, reservations) both as an experiment baseline
+// (how much does SAM add on top of pure admission-time TE?) and as the
+// serving-throughput harness the admission benchmarks build on.
+// Rate and scavenger requests are skipped: those classes only exist
+// through the controller's expansion machinery.
+func (s *Setup) RunAdmissionOnly(initialPrice float64) (*sim.Outcome, sim.Report, error) {
+	st := pricing.NewState(s.Net, s.Scale.Steps, initialPrice)
+	ad := pricing.NewAdmitter(st)
+	adms := make([]*pricing.Admission, len(s.Requests))
+	for i, r := range s.Requests {
+		if r.Kind != traffic.ByteRequest {
+			continue
+		}
+		adms[i] = ad.Admit(r)
+	}
+	out, err := sim.ReplayAdmissions(s.Net, s.Requests, adms, s.Scale.Steps)
+	if err != nil {
+		return nil, sim.Report{}, err
+	}
+	rep, err := sim.Evaluate(s.Net, s.Requests, out, s.Cost)
+	return out, rep, err
+}

@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"testing"
+
+	"pretium/internal/sim"
+)
+
+// RunAdmissionOnly must produce a physically valid outcome: reservations
+// respect capacity, deliveries respect demand, and admitted requests pay
+// their menu prices.
+func TestRunAdmissionOnly(t *testing.T) {
+	s := NewSetup(Small())
+	out, rep, err := s.RunAdmissionOnly(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CheckCapacities(s.Net, out.Usage, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	admitted := 0
+	for i, r := range s.Requests {
+		if out.Delivered[i] > r.Demand+1e-6 {
+			t.Fatalf("request %d delivered %v beyond demand %v", i, out.Delivered[i], r.Demand)
+		}
+		if out.Delivered[i] > 0 {
+			admitted++
+			if out.Payments[i] < 0 {
+				t.Fatalf("request %d has negative payment %v", i, out.Payments[i])
+			}
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("admission-only run admitted nothing")
+	}
+	if rep.Value <= 0 {
+		t.Fatalf("report value %v, want positive", rep.Value)
+	}
+	if rep.Revenue <= 0 {
+		t.Fatalf("report revenue %v, want positive", rep.Revenue)
+	}
+}

@@ -230,13 +230,17 @@ func Figure2() []Row {
 	// machinery (menus, Theorem 5.2 purchases, reservations).
 	st := pricing.NewState(f.net, 2, 0)
 	st.Adjust = pricing.AdjustConfig{Threshold: 1, Factor: 1}
-	st.BasePrice[f.ab][0], st.BasePrice[f.ab][1] = 8, 4
-	st.BasePrice[f.cd][0], st.BasePrice[f.cd][1] = 4, 1
-	st.BasePrice[f.ac][0], st.BasePrice[f.ac][1] = 0, 0
+	st.SetBasePrice(f.ab, 0, 8)
+	st.SetBasePrice(f.ab, 1, 4)
+	st.SetBasePrice(f.cd, 0, 4)
+	st.SetBasePrice(f.cd, 1, 1)
+	st.SetBasePrice(f.ac, 0, 0)
+	st.SetBasePrice(f.ac, 1, 0)
 	pretUnits := make([]float64, len(f.reqs))
 	pretWelfare := 0.0
+	ad := pricing.NewAdmitter(st)
 	for i, r := range f.reqs {
-		adm := pricing.Admit(st, r)
+		adm := ad.Admit(r)
 		if adm == nil {
 			continue
 		}

@@ -17,6 +17,13 @@ func Commit(st *State, req *traffic.Request, menu *Menu, bought float64) *Admiss
 	if bought <= 1e-12 {
 		return nil
 	}
+	// An empty menu means the request is unroutable in its window: there
+	// is nothing to sell at any price (Price is +Inf there), so a
+	// purchase decision of bought > 0 — e.g. from a custom purchase rule
+	// that ignored the menu — is declined rather than committed.
+	if len(menu.Segments) == 0 {
+		return nil
+	}
 	adm := &Admission{
 		Request:    req,
 		Menu:       menu,

@@ -1,0 +1,46 @@
+package pricing
+
+import (
+	"math/rand"
+	"testing"
+
+	"pretium/internal/graph"
+)
+
+// FuzzQuoteMenu drives the heap engine and the reference scan over
+// worlds derived from the fuzzed inputs and requires identical menus.
+// The seed corpus below runs under plain `go test`, so the differential
+// check is part of the tier-1 suite; `go test -fuzz=FuzzQuoteMenu`
+// explores further.
+func FuzzQuoteMenu(f *testing.F) {
+	f.Add(int64(1), uint8(0), false)
+	f.Add(int64(2), uint8(3), false)
+	f.Add(int64(3), uint8(1), true)
+	f.Add(int64(41), uint8(7), false)
+	f.Add(int64(42), uint8(2), true)
+	f.Add(int64(1234), uint8(9), false)
+	f.Add(int64(99991), uint8(4), true)
+	f.Add(int64(-7), uint8(255), false)
+	f.Fuzz(func(t *testing.T, seed int64, demandScale uint8, saturate bool) {
+		r := rand.New(rand.NewSource(seed))
+		st, req := randomQuoteWorld(r)
+		req.Demand *= 1 + float64(demandScale)
+		if saturate {
+			// Pin a random subset of (edge, t) at full capacity so the
+			// engines navigate dead candidates and partial exhaustion.
+			for e := range st.Reserved {
+				cap := st.Net.Edge(graph.EdgeID(e)).Capacity
+				for tt := range st.Reserved[e] {
+					if r.Intn(3) == 0 {
+						st.Reserved[e][tt] = cap
+					}
+				}
+			}
+			st.Invalidate()
+		}
+		want := quoteMenuReference(st, req, req.Demand)
+		got := QuoteMenu(st, req, req.Demand)
+		requireMenusIdentical(t, "fuzz", got, want)
+		requireExactlyMonotone(t, "fuzz", got)
+	})
+}

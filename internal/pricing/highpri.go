@@ -64,7 +64,10 @@ func (s *State) SetHighPriMatrix(m [][]float64) error {
 		if len(m[e]) != s.Horizon {
 			return fmt.Errorf("pricing: high-pri row %d has %d steps, want %d", e, len(m[e]), s.Horizon)
 		}
+	}
+	for e := range m {
 		copy(s.HighPri[e], m[e])
 	}
+	s.Invalidate()
 	return nil
 }

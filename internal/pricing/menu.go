@@ -2,9 +2,7 @@ package pricing
 
 import (
 	"math"
-	"sort"
 
-	"pretium/internal/graph"
 	"pretium/internal/traffic"
 )
 
@@ -32,9 +30,14 @@ func (m *Menu) Cap() float64 { return m.capBytes }
 
 // Price returns the total price p_i(x) to route x bytes. Beyond Cap the
 // marginal price of the last segment extends (best-effort pricing Δ(x̄)).
+// An empty menu prices any positive volume at +Inf — an unroutable
+// request must never be quoted as free (it cannot be quoted at all).
 func (m *Menu) Price(x float64) float64 {
 	if x <= 0 {
 		return 0
+	}
+	if len(m.Segments) == 0 {
+		return math.Inf(1)
 	}
 	total := 0.0
 	remaining := x
@@ -68,9 +71,9 @@ func (m *Menu) Marginal(x float64) float64 {
 
 // Purchase returns the utility-maximizing amount for a customer with
 // value v per byte and demand d (Theorem 5.2): buy while the marginal
-// price is at most v, up to d.
+// price is at most v, up to d. An empty menu sells nothing.
 func (m *Menu) Purchase(v, d float64) float64 {
-	if d <= 0 {
+	if d <= 0 || len(m.Segments) == 0 {
 		return 0
 	}
 	bought := 0.0
@@ -87,7 +90,7 @@ func (m *Menu) Purchase(v, d float64) float64 {
 	// rational customer takes them too when still below value. They are
 	// not guaranteed, so risk-averse customers could decline; we model
 	// the paper's risk-neutral customer.
-	if bought >= m.capBytes && len(m.Segments) > 0 {
+	if bought >= m.capBytes {
 		last := m.Segments[len(m.Segments)-1].Price
 		if last <= v {
 			return d
@@ -99,88 +102,23 @@ func (m *Menu) Purchase(v, d float64) float64 {
 	return bought
 }
 
-// quoteCandidate is one (route, time) option during menu assembly.
-type quoteCandidate struct {
-	routeIdx int
-	time     int
-}
-
 // QuoteMenu computes the price menu for req against the current state:
 // repeatedly pick the cheapest (route, timestep) pair by summing the
 // current per-edge marginal prices, allocate until an edge exhausts its
 // price segment, and continue — yielding the minimum-price piecewise
 // schedule of §4.1. The menu is truncated at maxBytes (quoting beyond the
 // request's demand is pointless). The state is not modified.
+//
+// Segments come out in nondecreasing price order by construction
+// (marginal prices only rise as segments fill). The work is done by the
+// incremental heap engine (see Quoter); quoteMenuReference retains the
+// original scan as the executable spec. Callers on the admission hot
+// path should hold an Admitter (or Quoter) for scratch reuse; this free
+// function draws from a shared pool.
 func QuoteMenu(st *State, req *traffic.Request, maxBytes float64) *Menu {
-	if maxBytes <= 0 {
-		maxBytes = req.Demand
-	}
-	// Scratch usage overlay so quoting never mutates st.
-	type et struct {
-		e graph.EdgeID
-		t int
-	}
-	scratch := make(map[et]float64)
-
-	var cands []quoteCandidate
-	for ri := range req.Routes {
-		for t := req.Start; t <= req.End && t < st.Horizon; t++ {
-			cands = append(cands, quoteCandidate{routeIdx: ri, time: t})
-		}
-	}
-
-	menu := &Menu{}
-	quoted := 0.0
-	for quoted < maxBytes-1e-12 {
-		bestPrice := math.Inf(1)
-		bestIdx := -1
-		bestRoom := 0.0
-		for ci, c := range cands {
-			route := req.Routes[c.routeIdx]
-			price := 0.0
-			room := math.Inf(1)
-			for _, e := range route {
-				ex := scratch[et{e, c.time}]
-				price += st.MarginalPrice(e, c.time, ex)
-				if r := st.segmentRoom(e, c.time, ex); r < room {
-					room = r
-				}
-			}
-			if room <= 1e-12 {
-				continue
-			}
-			if price < bestPrice-1e-12 {
-				bestPrice, bestIdx, bestRoom = price, ci, room
-			}
-		}
-		if bestIdx < 0 {
-			break // network exhausted within the window
-		}
-		c := cands[bestIdx]
-		take := math.Min(bestRoom, maxBytes-quoted)
-		// Merge with the previous segment when identical in price and
-		// placement to keep menus compact.
-		if k := len(menu.Segments) - 1; k >= 0 &&
-			menu.Segments[k].Price == bestPrice &&
-			menu.Segments[k].RouteIdx == c.routeIdx &&
-			menu.Segments[k].Time == c.time {
-			menu.Segments[k].Bytes += take
-		} else {
-			menu.Segments = append(menu.Segments, Segment{
-				Bytes: take, Price: bestPrice, RouteIdx: c.routeIdx, Time: c.time,
-			})
-		}
-		quoted += take
-		for _, e := range req.Routes[c.routeIdx] {
-			scratch[et{e, c.time}] += take
-		}
-	}
-	menu.capBytes = quoted
-	// Stable order: already emitted in ascending price because marginal
-	// prices only rise as segments fill; assert via sort for safety.
-	sort.SliceStable(menu.Segments, func(i, j int) bool {
-		return menu.Segments[i].Price < menu.Segments[j].Price
-	})
+	q := quoterPool.Get().(*Quoter)
+	menu := q.Quote(st, req, maxBytes)
+	quoterPool.Put(q)
 	return menu
 }
 
@@ -213,7 +151,8 @@ type ReservedAlloc struct {
 // segments, and returns the admission record (nil when the customer
 // declines). The reservation immediately shifts subsequent quotes — this
 // is the admission-path traffic engineering plus, via the premium
-// segments, the short-term price adjustment of §4.1.
+// segments, the short-term price adjustment of §4.1. Streams of arrivals
+// should go through an Admitter, which reuses quoting scratch.
 func Admit(st *State, req *traffic.Request) *Admission {
 	menu := QuoteMenu(st, req, req.Demand)
 	return Commit(st, req, menu, menu.Purchase(req.Value, req.Demand))

@@ -39,6 +39,7 @@ func randomQuoteWorld(r *rand.Rand) (*State, *traffic.Request) {
 			}
 		}
 	}
+	st.Invalidate() // direct Reserved writes bypass the segment cache
 	src := graph.NodeID(0)
 	dst := graph.NodeID(nn - 1)
 	start := r.Intn(horizon)
@@ -154,6 +155,7 @@ func TestAdmissionCapacityInvariant(t *testing.T) {
 				st.Reserved[e][tt] = 0
 			}
 		}
+		st.Invalidate()
 		for k := 0; k < 8; k++ {
 			_, req := randomQuoteWorld(r)
 			// Re-target the request onto st's network: regenerate

@@ -35,6 +35,14 @@ func DefaultAdjust() AdjustConfig { return AdjustConfig{Threshold: 0.8, Factor: 
 // 3): internal prices {P_{e,t}}, the forward plan of reserved bandwidth,
 // and the high-pri set-aside. Timesteps are absolute indices in
 // [0, Horizon).
+//
+// The state additionally maintains a dense per-(edge, timestep) cache of
+// the current price segment — marginal price and remaining room at zero
+// overlay — so the admission fast path reads arrays instead of
+// recomputing the premium rule per candidate. Every mutator below keeps
+// the cache coherent incrementally; code that writes the exported
+// matrices directly must call Invalidate afterwards (or use SetBasePrice
+// / AddHighPri), or quotes will see stale segments.
 type State struct {
 	Net     *graph.Network
 	Horizon int
@@ -47,6 +55,12 @@ type State struct {
 	// traffic (§4.4), unavailable to scheduled transfers.
 	HighPri [][]float64
 	Adjust  AdjustConfig
+
+	// segPrice and segRoom cache MarginalPrice(e, t, 0) and
+	// segmentRoom(e, t, 0) flattened as [e*Horizon+t]. They are always
+	// valid between mutator calls.
+	segPrice []float64
+	segRoom  []float64
 }
 
 // NewState creates a state with uniform initial prices. Usage-priced
@@ -74,7 +88,28 @@ func NewState(net *graph.Network, horizon int, basePrice float64) *State {
 			s.BasePrice[e.ID][t] = p
 		}
 	}
+	s.segPrice = make([]float64, ne*horizon)
+	s.segRoom = make([]float64, ne*horizon)
+	s.Invalidate()
 	return s
+}
+
+// Invalidate rebuilds the whole segment cache from the exported matrices.
+// Call it after writing BasePrice / Reserved / HighPri entries directly;
+// the mutator methods keep the cache coherent on their own.
+func (s *State) Invalidate() {
+	for e := 0; e < s.Net.NumEdges(); e++ {
+		for t := 0; t < s.Horizon; t++ {
+			s.refreshSeg(graph.EdgeID(e), t)
+		}
+	}
+}
+
+// refreshSeg recomputes the cached segment entry for (e, t).
+func (s *State) refreshSeg(e graph.EdgeID, t int) {
+	i := int(e)*s.Horizon + t
+	s.segPrice[i] = s.marginalAt(e, t, 0)
+	s.segRoom[i] = s.roomAt(e, t, 0)
 }
 
 // SetHighPriFraction reserves a uniform fraction of every link for
@@ -85,6 +120,21 @@ func (s *State) SetHighPriFraction(frac float64) {
 			s.HighPri[e.ID][t] = e.Capacity * frac
 		}
 	}
+	s.Invalidate()
+}
+
+// AddHighPri grows the high-pri set-aside on (e, t) — e.g. to model an
+// announced capacity fault — keeping the segment cache coherent.
+func (s *State) AddHighPri(e graph.EdgeID, t int, amount float64) {
+	s.HighPri[e][t] += amount
+	s.refreshSeg(e, t)
+}
+
+// SetBasePrice overwrites one internal price entry, keeping the segment
+// cache coherent (bulk updates come from SetPricesWindow).
+func (s *State) SetBasePrice(e graph.EdgeID, t int, price float64) {
+	s.BasePrice[e][t] = price
+	s.refreshSeg(e, t)
 }
 
 // Capacity returns the bandwidth available to scheduled traffic on edge e
@@ -121,8 +171,17 @@ func (s *State) CapacityMatrix() [][]float64 {
 
 // MarginalPrice returns the price of the next byte on (e, t) given
 // current reservations plus extra pending bytes: the base price, or the
-// adjusted premium once utilization crosses the threshold.
+// adjusted premium once utilization crosses the threshold. With no
+// overlay it is a single cached array read.
 func (s *State) MarginalPrice(e graph.EdgeID, t int, extra float64) float64 {
+	if extra == 0 {
+		return s.segPrice[int(e)*s.Horizon+t]
+	}
+	return s.marginalAt(e, t, extra)
+}
+
+// marginalAt is the premium rule itself (the cache's source of truth).
+func (s *State) marginalAt(e graph.EdgeID, t int, extra float64) float64 {
 	base := s.BasePrice[e][t]
 	cap := s.Capacity(e, t)
 	if cap <= 0 {
@@ -137,7 +196,16 @@ func (s *State) MarginalPrice(e graph.EdgeID, t int, extra float64) float64 {
 
 // segmentRoom returns how many more bytes fit on (e, t) at the *current*
 // marginal price before either the premium threshold or capacity is hit.
+// With no overlay it is a single cached array read.
 func (s *State) segmentRoom(e graph.EdgeID, t int, extra float64) float64 {
+	if extra == 0 {
+		return s.segRoom[int(e)*s.Horizon+t]
+	}
+	return s.roomAt(e, t, extra)
+}
+
+// roomAt is the segment-room rule itself (the cache's source of truth).
+func (s *State) roomAt(e graph.EdgeID, t int, extra float64) float64 {
 	cap := s.Capacity(e, t)
 	used := s.Reserved[e][t] + extra
 	room := cap - used
@@ -155,6 +223,7 @@ func (s *State) segmentRoom(e graph.EdgeID, t int, extra float64) float64 {
 func (s *State) Reserve(route graph.Path, t int, amount float64) {
 	for _, e := range route {
 		s.Reserved[e][t] += amount
+		s.refreshSeg(e, t)
 	}
 }
 
@@ -170,6 +239,7 @@ func (s *State) SetReserved(usage [][]float64) error {
 		}
 		copy(s.Reserved[e], usage[e])
 	}
+	s.Invalidate()
 	return nil
 }
 
@@ -197,6 +267,7 @@ func (s *State) SetPricesWindow(from int, window [][]float64) error {
 		idx := (t - from) % w
 		for e := range window {
 			s.BasePrice[e][t] = window[e][idx]
+			s.refreshSeg(graph.EdgeID(e), t)
 		}
 	}
 	return nil

@@ -62,18 +62,23 @@ func sortedKeys[V any](m map[int]V) []int {
 	return ks
 }
 
-// allowedAt reports whether t is schedulable for the demand, given the
-// already-clipped interval [lo, hi].
-func (d *Demand) allowedAt(t int) bool {
+// allowedMask materializes Allowed into a per-timestep bitmap over
+// [0, horizon) so model construction tests membership in O(1) instead of
+// scanning the slice per timestep (an O(T²) model build for demands like
+// PeakOracle's, whose Allowed lists grow with the horizon). Entries
+// outside [0, horizon) are ignored, as the scan never matched them. A
+// nil result means every timestep is allowed.
+func (d *Demand) allowedMask(horizon int) []bool {
 	if d.Allowed == nil {
-		return true
+		return nil
 	}
+	mask := make([]bool, horizon)
 	for _, a := range d.Allowed {
-		if a == t {
-			return true
+		if a >= 0 && a < horizon {
+			mask[a] = true
 		}
 	}
-	return false
+	return mask
 }
 
 // Alloc is one scheduled flow assignment: Bytes of demand DemandIdx on
@@ -207,9 +212,10 @@ func (ins *Instance) Build() (*Built, error) {
 		}
 		var dTerms []lp.Term
 		perStep := make(map[int][]lp.Term) // for the RateCap rows
+		allowed := d.allowedMask(ins.Horizon)
 		for ri, route := range d.Routes {
 			for t := lo; t <= hi; t++ {
-				if !d.allowedAt(t) {
+				if allowed != nil && !allowed[t] {
 					continue
 				}
 				up := lp.Inf

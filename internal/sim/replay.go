@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"pretium/internal/graph"
+	"pretium/internal/pricing"
+	"pretium/internal/traffic"
+)
+
+// ReplayAdmissions materializes an admission-only outcome: each
+// admission's preliminary schedule is executed exactly as reserved — no
+// SAM re-optimization, no faults, no load shedding — so delivered bytes
+// are the guaranteed volumes and payments follow the quoted menus. This
+// is the evaluation counterpart of pricing.Admitter.AdmitAll: the RA
+// module in isolation, useful for admission-path experiments and for
+// bounding how much SAM's re-optimization adds on top.
+//
+// adms must be parallel to reqs (nil entries are declined requests), as
+// AdmitAll returns it.
+func ReplayAdmissions(net *graph.Network, reqs []*traffic.Request, adms []*pricing.Admission, horizon int) (*Outcome, error) {
+	if len(adms) != len(reqs) {
+		return nil, fmt.Errorf("sim: %d admissions for %d requests", len(adms), len(reqs))
+	}
+	o := NewOutcome(len(reqs), net, horizon)
+	for i, adm := range adms {
+		if adm == nil {
+			continue
+		}
+		for _, al := range adm.Allocs {
+			if al.Time < 0 || al.Time >= horizon {
+				return nil, fmt.Errorf("sim: admission %d reserves outside the horizon (t=%d)", i, al.Time)
+			}
+			o.Delivered[i] += al.Bytes
+			o.Events = append(o.Events, DeliveryEvent{Req: i, Time: al.Time, Bytes: al.Bytes})
+			for _, e := range adm.Request.Routes[al.RouteIdx] {
+				o.Usage[e][al.Time] += al.Bytes
+			}
+		}
+		o.Payments[i] = adm.Menu.Price(math.Min(o.Delivered[i], adm.Bought))
+	}
+	return o, nil
+}

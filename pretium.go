@@ -149,9 +149,24 @@ func Evaluate(n *Network, reqs []*Request, o *Outcome, costCfg CostConfig) (Repo
 
 // QuoteMenu computes a request's price menu against a price state without
 // admitting it — the raw §4.1 quoting primitive for custom integrations.
+// Callers serving a stream of requests should hold an Admitter instead,
+// which reuses the quoting scratch across calls.
 func QuoteMenu(st *PriceState, req *Request, maxBytes float64) *Menu {
 	return pricing.QuoteMenu(st, req, maxBytes)
 }
+
+// Admitter is the batched request-admission front-end: it binds a price
+// state to reusable quoting scratch so streams of arrivals are quoted,
+// purchased, and reserved without per-request allocation beyond the
+// returned records. Admission is what an admission record reports.
+type (
+	Admitter  = pricing.Admitter
+	Admission = pricing.Admission
+)
+
+// NewAdmitter creates an admission front-end serving quotes against st.
+// Not safe for concurrent use; shard one Admitter + state per goroutine.
+func NewAdmitter(st *PriceState) *Admitter { return pricing.NewAdmitter(st) }
 
 // NewPriceState creates a standalone price state (for quoting outside a
 // Controller).
