@@ -128,10 +128,18 @@ var experiments = map[string]func(rc *runCtx, sc exp.Scale, seed int64) error{
 		rc.printRows("§4.4 price convergence over statistically identical days", rows)
 		return nil
 	},
+	"chaos": func(rc *runCtx, sc exp.Scale, seed int64) error {
+		rows, err := exp.ChaosSuite(sc, seed)
+		if err != nil {
+			return err
+		}
+		rc.printRows("Chaos gauntlet: welfare loss and degradation under injected faults (load 2)", rows)
+		return nil
+	},
 }
 
 // order fixes the -exp all execution sequence.
-var order = []string{"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig10", "fig11", "fig12", "fig13", "table4", "incentives", "convergence"}
+var order = []string{"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig10", "fig11", "fig12", "fig13", "table4", "incentives", "convergence", "chaos"}
 
 func loadFactors() []float64 { return []float64{0.5, 1, 2, 3} }
 

@@ -1,0 +1,180 @@
+// Package chaos provides deterministic fault injectors for the control
+// loop's robustness harness. An Injector is consulted by core.Controller
+// at two points of every timestep: before each LP solve (to force
+// solver-level failures — outright errors or wall-clock timeouts — at
+// chosen steps) and at the top of the step (to corrupt planning state:
+// price corruption, capacity flapping).
+//
+// Everything is a pure function of the step index: the same injection
+// schedule over the same request stream reproduces the same run bit for
+// bit, so robustness tests can assert exact degradation ladders instead
+// of probabilistic survival. This is chaos engineering in the
+// Jepsen/deterministic-simulation tradition, not randomized monkeying.
+package chaos
+
+import (
+	"pretium/internal/graph"
+	"pretium/internal/pricing"
+)
+
+// Module names the control-loop solve sites an Action can target,
+// matching the Module strings in the controller's Health report.
+const (
+	ModuleSAM = "SAM"
+	ModulePC  = "PC"
+	// ModuleAny matches every module (SolverOutage with Module "" uses it
+	// implicitly).
+	ModuleAny = ""
+)
+
+// Action tells the control loop what to do with an impending LP solve.
+type Action int
+
+const (
+	// Proceed: solve normally.
+	Proceed Action = iota
+	// Timeout: the solver is pathologically slow — each LP attempt runs
+	// under a ~zero wall-clock budget and comes back lp.TimeLimit.
+	Timeout
+	// Fail: the solver is down — every LP attempt at this (module, step)
+	// returns an error. LP-free rungs of the degradation ladder (greedy
+	// fallback, plan carry) still run.
+	Fail
+)
+
+func (a Action) String() string {
+	switch a {
+	case Proceed:
+		return "proceed"
+	case Fail:
+		return "fail"
+	case Timeout:
+		return "timeout"
+	}
+	return "unknown"
+}
+
+// Injector is the hook the controller consults. Implementations must be
+// deterministic functions of their arguments.
+type Injector interface {
+	// SolveAction is consulted immediately before module (ModuleSAM or
+	// ModulePC) would solve an LP at step t.
+	SolveAction(module string, step int) Action
+	// BeforeStep runs at the top of step t, after fault announcements and
+	// before pricing/admission, and may mutate the planning state through
+	// its cache-coherent mutators.
+	BeforeStep(step int, st *pricing.State)
+}
+
+// SolverOutage forces solver failures or timeouts for one module (or all,
+// with Module "") on every step in [From, To] (inclusive; To < From means
+// never). Mode Proceed is treated as Fail so the zero value of Mode still
+// injects something.
+type SolverOutage struct {
+	Module   string
+	From, To int
+	Mode     Action
+}
+
+// SolveAction implements Injector.
+func (o SolverOutage) SolveAction(module string, step int) Action {
+	if o.Module != ModuleAny && o.Module != module {
+		return Proceed
+	}
+	if step < o.From || step > o.To {
+		return Proceed
+	}
+	if o.Mode == Proceed {
+		return Fail
+	}
+	return o.Mode
+}
+
+// BeforeStep implements Injector (no state mutation).
+func (o SolverOutage) BeforeStep(int, *pricing.State) {}
+
+// PriceCorruption multiplies every edge's base price at the current step
+// by Factor on steps in [From, To] — modeling a Price Computer gone wrong
+// or a poisoned price store. Factor 0 gives everything away free (an
+// overselling stress: admission control admits everyone; the scheduler
+// and realizer must still hold capacity). A huge Factor starves
+// admission instead. Mutations go through SetBasePrice, so the quoting
+// cache stays coherent.
+type PriceCorruption struct {
+	From, To int
+	Factor   float64
+}
+
+// SolveAction implements Injector (solves proceed).
+func (p PriceCorruption) SolveAction(string, int) Action { return Proceed }
+
+// BeforeStep implements Injector.
+func (p PriceCorruption) BeforeStep(step int, st *pricing.State) {
+	if step < p.From || step > p.To {
+		return
+	}
+	for e := 0; e < st.Net.NumEdges(); e++ {
+		st.SetBasePrice(graph.EdgeID(e), step, st.BasePrice[e][step]*p.Factor)
+	}
+}
+
+// CapacityFlap alternately removes and restores a fraction of one edge's
+// capacity (via the high-pri set-aside, like an announced fault) with a
+// fixed period: steps in [From, To] whose phase ((t-From)/Period) is even
+// are "down". At each step it rewrites the edge's set-aside for the whole
+// remaining flap window, so the planner keeps re-planning around a future
+// that keeps changing — the flapping-link nightmare §4.4 gestures at.
+// The set-aside write is clamped by the state, so flaps compose safely
+// with real fault announcements on the same edge.
+type CapacityFlap struct {
+	Edge     graph.EdgeID
+	From, To int
+	Period   int
+	// Frac of the edge's physical capacity removed during down phases.
+	Frac float64
+}
+
+// SolveAction implements Injector (solves proceed).
+func (f CapacityFlap) SolveAction(string, int) Action { return Proceed }
+
+// BeforeStep implements Injector.
+func (f CapacityFlap) BeforeStep(step int, st *pricing.State) {
+	if step < f.From || step > f.To {
+		return
+	}
+	period := f.Period
+	if period <= 0 {
+		period = 1
+	}
+	cap := st.Net.Edge(f.Edge).Capacity
+	for t := step; t <= f.To && t < st.Horizon; t++ {
+		down := ((t-f.From)/period)%2 == 0
+		if down {
+			st.SetHighPri(f.Edge, t, cap*f.Frac)
+		} else {
+			st.SetHighPri(f.Edge, t, 0)
+		}
+	}
+}
+
+// Plan composes injectors: the strongest solve action wins (Fail >
+// Timeout > Proceed) and BeforeStep mutations apply in order.
+type Plan []Injector
+
+// SolveAction implements Injector.
+func (p Plan) SolveAction(module string, step int) Action {
+	worst := Proceed
+	for _, in := range p {
+		if a := in.SolveAction(module, step); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+// BeforeStep implements Injector.
+func (p Plan) BeforeStep(step int, st *pricing.State) {
+	for _, in := range p {
+		in.BeforeStep(step, st)
+	}
+}

@@ -11,10 +11,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
+	"pretium/internal/chaos"
 	"pretium/internal/cost"
 	"pretium/internal/graph"
 	"pretium/internal/lp"
@@ -85,6 +88,12 @@ type Config struct {
 	Faults []Fault
 	// Solver bounds each LP solve.
 	Solver lp.Options
+	// Chaos, when non-nil, is a deterministic fault injector consulted
+	// before every LP solve and at the top of every step (see
+	// internal/chaos). It exists so robustness tests can force solver
+	// outages, price corruption, and capacity flaps at exact steps and
+	// assert the controller's degradation ladder handles each one.
+	Chaos chaos.Injector
 }
 
 // Fault is one injected capacity loss: edge capacity is multiplied by
@@ -161,6 +170,10 @@ type Controller struct {
 	Admitted       []bool
 	AdmissionPrice []float64
 	Timings        Timings
+	// Health records every degradation the control loop absorbed: which
+	// rung of the ladder each step settled at, and why. Run never aborts
+	// mid-horizon on solver trouble; Health is where the trouble shows.
+	Health *Health
 	// trueCap is the physical per-(edge,step) capacity including faults,
 	// whether announced or not.
 	trueCap [][]float64
@@ -230,6 +243,7 @@ func New(net *graph.Network, reqs []*traffic.Request, cfg Config) (*Controller, 
 		Admitted:       make([]bool, len(reqs)),
 		AdmissionPrice: make([]float64, len(reqs)),
 		PriceTrace:     make([][]float64, net.NumEdges()),
+		Health:         newHealth(cfg.Horizon),
 	}
 	for e := range c.PriceTrace {
 		c.PriceTrace[e] = make([]float64, cfg.Horizon)
@@ -307,6 +321,11 @@ func (c *Controller) Run() (*sim.Outcome, error) {
 		if c.cfg.EnablePC && t > 0 && t%c.cfg.PriceWindow == 0 {
 			c.runPC(t)
 		}
+		// Chaos state mutations land after the PC so a corrupted price at a
+		// window boundary is what quotes (and PriceTrace) actually see.
+		if c.cfg.Chaos != nil {
+			c.cfg.Chaos.BeforeStep(t, c.state)
+		}
 		for e := range c.PriceTrace {
 			c.PriceTrace[e][t] = c.state.BasePrice[e][t]
 		}
@@ -314,9 +333,7 @@ func (c *Controller) Run() (*sim.Outcome, error) {
 			c.admit(r)
 		}
 		if c.cfg.EnableSAM && t%c.cfg.SAMEvery == 0 {
-			if err := c.runSAM(t); err != nil {
-				return nil, err
-			}
+			c.runSAM(t)
 		}
 		c.realize(t)
 	}
@@ -415,8 +432,7 @@ func (c *Controller) admitRate(r *traffic.Request) {
 		return // bundle not worth it
 	}
 	idx := c.reqIndex(r)
-	c.Admitted[idx] = true
-	c.AdmissionPrice[idx] = total / bytes
+	committed := 0
 	for _, q := range quotes {
 		stepReq := *r
 		stepReq.Start, stepReq.End = q.t, q.t
@@ -425,6 +441,7 @@ func (c *Controller) admitRate(r *traffic.Request) {
 		if adm == nil {
 			continue
 		}
+		committed++
 		c.active = append(c.active, &admState{
 			adm: adm, reqIdx: idx, start: q.t, end: q.t,
 			plan: append([]pricing.ReservedAlloc(nil), adm.Allocs...),
@@ -433,6 +450,14 @@ func (c *Controller) admitRate(r *traffic.Request) {
 			Routes: r.Routes, Start: q.t, End: q.t,
 			Bytes: feasibleRate, Lambda: adm.Lambda,
 		})
+	}
+	// Only count the request admitted once at least one per-step commit
+	// actually held; quotes can go stale between Quote and Commit (state
+	// moved under us), and a rate request with zero committed steps is a
+	// rejection, not an admission at the quoted price.
+	if committed > 0 {
+		c.Admitted[idx] = true
+		c.AdmissionPrice[idx] = total / bytes
 	}
 }
 
@@ -473,8 +498,13 @@ func (c *Controller) reqIndex(r *traffic.Request) int {
 	return -1
 }
 
-// runSAM re-optimizes the forward schedule from step t (Eq. 2).
-func (c *Controller) runSAM(t int) error {
+// runSAM re-optimizes the forward schedule from step t (Eq. 2). It never
+// fails: on solver trouble it walks the degradation ladder (warm LP →
+// relaxed-guarantee LP → cold-start retry → greedy fallback → carry the
+// previous plan), recording how far it had to descend in the Health
+// report. A dead solver degrades the schedule's optimality, never the
+// run.
+func (c *Controller) runSAM(t int) {
 	started := time.Now()
 	defer func() { c.Timings.SAM = append(c.Timings.SAM, time.Since(started)) }()
 
@@ -490,7 +520,7 @@ func (c *Controller) runSAM(t int) error {
 		}
 	}
 	if len(live) == 0 {
-		return nil
+		return
 	}
 	horizon := maxEnd + 1
 	if horizon > c.cfg.Horizon {
@@ -526,34 +556,17 @@ func (c *Controller) runSAM(t int) error {
 		Capacity: capacity, FixedUsage: fixed,
 		Demands: demands, Cost: c.cfg.Cost, UseCostProxy: true,
 	}
-	built, err := ins.Build()
-	if err != nil {
-		return err
+	res, lvl, reason := c.solveSAMLadder(ins, t)
+	if res == nil {
+		// Even the LP-free fallback could not run: carry the previous
+		// forward plan unchanged. Reservations in state still reflect it.
+		c.Health.record(t, ModuleSAM, LevelCarry, reason)
+		return
 	}
-	opts := c.cfg.Solver
-	opts.WarmBasis = c.samBasis
-	res, err := built.Solve(opts)
-	if err != nil {
-		return err
+	if lvl > LevelOK {
+		c.Health.record(t, ModuleSAM, lvl, reason)
 	}
-	if res.Status != lp.Optimal {
-		// Guarantees no longer jointly schedulable (e.g. after capacity
-		// shocks); relax them in place and do best effort, counting
-		// reneges at the end. The relaxation only lowers GE right-hand
-		// sides, so the infeasible solve's terminal (phase-1) basis is a
-		// valid warm start for the retry — no rebuild, no cold phase 1.
-		built.RelaxGuarantees()
-		opts.WarmBasis = res.Basis
-		res, err = built.Solve(opts)
-		if err != nil {
-			return err
-		}
-		if res.Status != lp.Optimal {
-			return fmt.Errorf("core: SAM LP %v at t=%d", res.Status, t)
-		}
-	}
-	c.samBasis = res.Basis
-	// Replace forward plans and reservations with SAM's schedule.
+	// Replace forward plans and reservations with the new schedule.
 	for _, a := range live {
 		a.plan = a.plan[:0]
 	}
@@ -570,7 +583,128 @@ func (c *Controller) runSAM(t int) error {
 			}
 		}
 	}
-	return c.state.SetReserved(reserved)
+	// Dimensions are ours by construction; an error here means a bug, not
+	// solver trouble — surface it as a carry-level event rather than dying.
+	if err := c.state.SetReserved(reserved); err != nil {
+		c.Health.record(t, ModuleSAM, LevelCarry, "SetReserved: "+err.Error())
+	}
+}
+
+// chaosAction consults the configured injector (Proceed when none).
+func (c *Controller) chaosAction(module string, t int) chaos.Action {
+	if c.cfg.Chaos == nil {
+		return chaos.Proceed
+	}
+	return c.cfg.Chaos.SolveAction(module, t)
+}
+
+// solveErr maps a scheduler result to the lp error taxonomy: nil only for
+// a clean Optimal solution whose residual check passed.
+func solveErr(r *sched.Result) error {
+	if r.Status == lp.Optimal && !r.Suspect {
+		return nil
+	}
+	if r.Status == lp.Optimal {
+		return lp.ErrSuspect
+	}
+	return r.Status.Err()
+}
+
+// solveSAMLadder runs the staged degradation ladder for one SAM solve:
+//
+//	rung 1: warm LP from the previous terminal basis;
+//	rung 2: on infeasible guarantees, relax them in place and re-solve
+//	        warm from the phase-1 terminal basis;
+//	rung 3: discard the (possibly suspect) basis and solve cold, with one
+//	        relax-and-retry if the cold solve exposes infeasibility;
+//	rung 4: LP-free greedy fallback (feasible by construction).
+//
+// It returns the settled result, its degradation level, and the chain of
+// rung failures that forced the descent. A nil result means even the
+// fallback failed (malformed instance); the caller then carries the
+// previous plan.
+func (c *Controller) solveSAMLadder(ins *sched.Instance, t int) (*sched.Result, Level, string) {
+	act := c.chaosAction(chaos.ModuleSAM, t)
+	var reasons []string
+	fail := func(rung string, err error) {
+		reasons = append(reasons, rung+": "+err.Error())
+	}
+	chain := func() string { return strings.Join(reasons, "; ") }
+
+	built, err := ins.Build()
+	if err != nil {
+		fail("build", err)
+	} else {
+		solve := func(opts lp.Options) (*sched.Result, error) {
+			switch act {
+			case chaos.Fail:
+				return nil, errors.New("injected solver outage")
+			case chaos.Timeout:
+				opts.TimeBudget = time.Nanosecond
+			}
+			r, err := built.Solve(opts)
+			if err != nil {
+				return nil, err
+			}
+			if e := solveErr(r); e != nil {
+				return r, e
+			}
+			return r, nil
+		}
+		// Rung 1: warm solve.
+		opts := c.cfg.Solver
+		opts.WarmBasis = c.samBasis
+		relaxed := false
+		res, err := solve(opts)
+		if err == nil {
+			c.samBasis = res.Basis
+			return res, LevelOK, ""
+		}
+		fail("warm", err)
+		// Rung 2: guarantees no longer jointly schedulable (e.g. after
+		// capacity shocks); relax them in place and do best effort,
+		// counting reneges at the end. The relaxation only lowers GE
+		// right-hand sides, so the infeasible solve's terminal (phase-1)
+		// basis is a valid warm start for the retry.
+		if res != nil && res.Status == lp.Infeasible {
+			built.RelaxGuarantees()
+			relaxed = true
+			opts.WarmBasis = res.Basis
+			if res, err = solve(opts); err == nil {
+				c.samBasis = res.Basis
+				return res, LevelRelaxed, chain()
+			}
+			fail("relaxed", err)
+		}
+		// Rung 3: the warm basis itself may be the problem (stale,
+		// numerically degenerate, or the cause of a suspect solution) —
+		// discard it and solve from scratch.
+		opts.WarmBasis = nil
+		res, err = solve(opts)
+		if err == nil {
+			c.samBasis = res.Basis
+			return res, LevelColdStart, chain()
+		}
+		fail("cold", err)
+		if !relaxed && res != nil && res.Status == lp.Infeasible {
+			built.RelaxGuarantees()
+			opts.WarmBasis = res.Basis
+			if res, err = solve(opts); err == nil {
+				c.samBasis = res.Basis
+				return res, LevelColdStart, chain()
+			}
+			fail("cold-relaxed", err)
+		}
+	}
+	// Rung 4: the LP-free fallback. Drop the basis chain — whatever state
+	// produced this descent should not warm-start the next step.
+	c.samBasis = nil
+	res, gerr := ins.SolveGreedy()
+	if gerr == nil {
+		return res, LevelGreedy, chain()
+	}
+	fail("greedy", gerr)
+	return nil, LevelCarry, chain()
 }
 
 // realize executes every plan entry scheduled for step t, clamped to the
@@ -672,19 +806,36 @@ func (c *Controller) runPC(t int) {
 			capacity[e][i] = c.state.Capacity(graph.EdgeID(e), from+i)
 		}
 	}
+	opts := c.cfg.Solver
+	switch c.chaosAction(chaos.ModulePC, t) {
+	case chaos.Fail:
+		c.Health.record(t, ModulePC, LevelRetainedPrices,
+			"injected solver outage; retaining prior window prices")
+		return
+	case chaos.Timeout:
+		opts.TimeBudget = time.Nanosecond
+	}
 	window, basis, err := pricing.ComputePricesBasis(c.net, entries, capacity, period, period-w,
 		pricing.ComputerConfig{
 			WindowLen: w, Cost: c.cfg.Cost,
 			MinPrice: c.cfg.MinPrice, CostFloorFrac: 1,
-			Solver: c.cfg.Solver,
+			Solver: opts,
 		}, c.pcBasis)
 	if basis != nil {
 		c.pcBasis = basis
 	}
 	if err != nil {
-		return // keep the old prices on solver trouble
+		// Retaining the prior window's prices is a deliberate degradation:
+		// quotes stay well-defined but stop tracking current load. Record
+		// it so the decision is auditable instead of silent.
+		c.Health.record(t, ModulePC, LevelRetainedPrices,
+			"solve failed ("+err.Error()+"); retaining prior window prices")
+		return
 	}
-	_ = c.state.SetPricesWindow(t, window)
+	if err := c.state.SetPricesWindow(t, window); err != nil {
+		c.Health.record(t, ModulePC, LevelRetainedPrices,
+			"price window rejected ("+err.Error()+"); retaining prior window prices")
+	}
 }
 
 // finalize computes payments and renege accounting. Menu-admitted

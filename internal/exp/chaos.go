@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"fmt"
+
+	"pretium/internal/chaos"
+	"pretium/internal/core"
+	"pretium/internal/graph"
+	"pretium/internal/sim"
+)
+
+// ChaosScenario is one named injection schedule plus the welfare-loss
+// bound the run must stay within. MaxWelfareLoss is a fraction of the
+// clean run's welfare magnitude: 1.0 means "may lose everything but not
+// go meaningfully negative", lower is tighter.
+type ChaosScenario struct {
+	Name           string
+	Injector       chaos.Injector
+	MaxWelfareLoss float64
+}
+
+// ChaosResult compares a clean Pretium run against the same setup under
+// an injection schedule.
+type ChaosResult struct {
+	Scenario ChaosScenario
+	Clean    SchemeResult
+	Chaotic  SchemeResult
+	// Health is the chaotic controller's degradation report.
+	Health *core.Health
+	// WelfareLoss = (clean - chaotic) / max(|clean|, 1).
+	WelfareLoss float64
+}
+
+// RunChaos runs Pretium clean and under the scenario's injector, then
+// asserts the robustness contract: the chaotic run must complete the
+// horizon, never violate physical link capacities, and keep its welfare
+// loss within the scenario's bound. Any breach is returned as an error —
+// this is the harness's notion of a failed chaos experiment, as opposed
+// to a merely degraded one (which is the expected outcome and shows up
+// in Health).
+func (s *Setup) RunChaos(scen ChaosScenario) (ChaosResult, error) {
+	clean, err := s.RunPretium(nil)
+	if err != nil {
+		return ChaosResult{}, fmt.Errorf("clean run: %w", err)
+	}
+	return s.RunChaosAgainst(clean, scen)
+}
+
+// RunChaosAgainst is RunChaos with the clean reference precomputed, so a
+// suite can amortize one clean run across scenarios.
+func (s *Setup) RunChaosAgainst(clean SchemeResult, scen ChaosScenario) (ChaosResult, error) {
+	chaotic, err := s.RunPretium(func(c *core.Config) { c.Chaos = scen.Injector })
+	if err != nil {
+		return ChaosResult{}, fmt.Errorf("chaos %s: run aborted: %w", scen.Name, err)
+	}
+	r := ChaosResult{
+		Scenario: scen,
+		Clean:    clean,
+		Chaotic:  chaotic,
+		Health:   chaotic.Controller.Health,
+	}
+	denom := clean.Report.Welfare
+	if denom < 0 {
+		denom = -denom
+	}
+	if denom < 1 {
+		denom = 1
+	}
+	r.WelfareLoss = (clean.Report.Welfare - chaotic.Report.Welfare) / denom
+	if err := sim.CheckCapacities(s.Net, chaotic.Outcome.Usage, 1e-6); err != nil {
+		return r, fmt.Errorf("chaos %s: capacity violated: %w", scen.Name, err)
+	}
+	if scen.MaxWelfareLoss > 0 && r.WelfareLoss > scen.MaxWelfareLoss {
+		return r, fmt.Errorf("chaos %s: welfare loss %.3f exceeds bound %.3f (health: %s)",
+			scen.Name, r.WelfareLoss, scen.MaxWelfareLoss, r.Health.Summary())
+	}
+	return r, nil
+}
+
+// fattestEdge picks the largest-capacity link — a fat inter-region pipe,
+// the most disruptive thing to flap.
+func fattestEdge(net *graph.Network) graph.EdgeID {
+	best := graph.EdgeID(0)
+	bestCap := -1.0
+	for _, e := range net.Edges() {
+		if e.Capacity > bestCap {
+			bestCap = e.Capacity
+			best = e.ID
+		}
+	}
+	return best
+}
+
+// DefaultChaosScenarios is the standing robustness gauntlet: solver
+// outages and timeouts (the ladder must reach greedy and come back),
+// Price Computer outages (prices must be retained, not corrupted),
+// poisoned prices in both directions, and a flapping fat link. Welfare
+// bounds are deliberately loose — they catch collapse (capacity chaos or
+// admission meltdown), not optimality drift.
+func DefaultChaosScenarios(s *Setup) []ChaosScenario {
+	steps := s.Scale.Steps
+	mid := steps / 3
+	return []ChaosScenario{
+		{
+			// Total outage: every step rides the fallback, which still owes
+			// every sold guarantee — including ones only carriable over
+			// priced pipes — so the bound is the loosest of the gauntlet.
+			Name:           "sam-outage-all",
+			Injector:       chaos.SolverOutage{Module: chaos.ModuleSAM, From: 0, To: steps - 1, Mode: chaos.Fail},
+			MaxWelfareLoss: 2.5,
+		},
+		{
+			Name:           "sam-timeout-mid",
+			Injector:       chaos.SolverOutage{Module: chaos.ModuleSAM, From: mid, To: 2 * mid, Mode: chaos.Timeout},
+			MaxWelfareLoss: 1.5,
+		},
+		{
+			Name:           "pc-outage-all",
+			Injector:       chaos.SolverOutage{Module: chaos.ModulePC, From: 0, To: steps - 1, Mode: chaos.Fail},
+			MaxWelfareLoss: 1.0,
+		},
+		{
+			Name:           "price-spike-10x",
+			Injector:       chaos.PriceCorruption{From: mid, To: 2 * mid, Factor: 10},
+			MaxWelfareLoss: 1.5,
+		},
+		{
+			Name:           "price-zero",
+			Injector:       chaos.PriceCorruption{From: mid, To: 2 * mid, Factor: 0},
+			MaxWelfareLoss: 3,
+		},
+		{
+			Name:           "fat-link-flap",
+			Injector:       chaos.CapacityFlap{Edge: fattestEdge(s.Net), From: 0, To: steps - 1, Period: 1, Frac: 0.5},
+			MaxWelfareLoss: 1.5,
+		},
+		{
+			Name: "perfect-storm",
+			Injector: chaos.Plan{
+				chaos.SolverOutage{Module: chaos.ModuleSAM, From: mid, To: 2 * mid, Mode: chaos.Fail},
+				chaos.SolverOutage{Module: chaos.ModulePC, From: 0, To: steps - 1, Mode: chaos.Fail},
+				chaos.CapacityFlap{Edge: fattestEdge(s.Net), From: mid, To: 2 * mid, Period: 2, Frac: 0.5},
+			},
+			MaxWelfareLoss: 3,
+		},
+	}
+}
+
+// ChaosSuite runs the default gauntlet at load 2 and reports, per
+// scenario: relative welfare loss, how many steps degraded, total
+// degradation events, and the worst ladder level hit (as its numeric
+// severity). A scenario that breaches its contract aborts the suite.
+func ChaosSuite(sc Scale, seed int64) ([]Row, error) {
+	s := NewSetup(sc, WithLoad(2), WithSeed(seed))
+	clean, err := s.RunPretium(nil)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, scen := range DefaultChaosScenarios(s) {
+		r, err := s.RunChaosAgainst(clean, scen)
+		if err != nil {
+			return nil, err
+		}
+		degraded, worst := 0, core.LevelOK
+		for _, w := range r.Health.Worst {
+			if w > core.LevelOK {
+				degraded++
+			}
+			if w > worst {
+				worst = w
+			}
+		}
+		rows = append(rows, Row{Label: scen.Name, Columns: []Col{
+			{Name: "welfLoss", Value: r.WelfareLoss},
+			{Name: "degradedSteps", Value: float64(degraded)},
+			{Name: "events", Value: float64(len(r.Health.Events))},
+			{Name: "worstLevel", Value: float64(worst)},
+		}})
+	}
+	return rows, nil
+}

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"testing"
+
+	"pretium/internal/chaos"
+	"pretium/internal/core"
+)
+
+// TestChaosSuiteSmall runs the full gauntlet at small scale: every
+// scenario must hold its contract (horizon completed, zero capacity
+// violations, welfare loss within bound).
+func TestChaosSuiteSmall(t *testing.T) {
+	rows, err := ChaosSuite(Small(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(DefaultChaosScenarios(NewSetup(Small()))) {
+		t.Fatalf("suite produced %d rows, want one per scenario", len(rows))
+	}
+}
+
+// TestRunChaosHealthAndLoss spot-checks the driver's outputs on a total
+// SAM outage: the chaotic run must degrade (greedy events present) yet
+// stay comparable to the clean run.
+func TestRunChaosHealthAndLoss(t *testing.T) {
+	s := NewSetup(Small(), WithLoad(2), WithSeed(1))
+	steps := s.Scale.Steps
+	r, err := s.RunChaos(ChaosScenario{
+		Name:           "sam-outage-all",
+		Injector:       chaos.SolverOutage{Module: chaos.ModuleSAM, From: 0, To: steps - 1, Mode: chaos.Fail},
+		MaxWelfareLoss: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Health.Degraded() {
+		t.Error("total SAM outage left the health report clean")
+	}
+	greedy := 0
+	for _, e := range r.Health.EventsAt(core.ModuleSAM) {
+		if e.Level == core.LevelGreedy {
+			greedy++
+		}
+	}
+	if greedy == 0 {
+		t.Error("no greedy-fallback events under a total SAM outage")
+	}
+	if r.Clean.Report.Welfare <= 0 {
+		t.Errorf("clean welfare %v, want positive (reference run broken)", r.Clean.Report.Welfare)
+	}
+}

@@ -9,8 +9,10 @@
 package lp
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Sense is the relational sense of a constraint row.
@@ -159,6 +161,9 @@ const (
 	Infeasible
 	Unbounded
 	IterLimit
+	// TimeLimit means Options.TimeBudget expired before optimality was
+	// proven. Like IterLimit it carries no usable solution or basis.
+	TimeLimit
 )
 
 func (s Status) String() string {
@@ -171,8 +176,47 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterLimit:
 		return "iteration-limit"
+	case TimeLimit:
+		return "time-budget"
 	}
 	return "unknown"
+}
+
+// Error taxonomy: one sentinel per way a solve can fail to produce a
+// trustworthy optimum, so control loops can pattern-match outcomes with
+// errors.Is and pick the right degradation rung (retry cold, relax,
+// fall back to an LP-free schedule, ...).
+var (
+	// ErrIterLimit: the pivot budget ran out before optimality.
+	ErrIterLimit = errors.New("lp: iteration limit reached")
+	// ErrTimeBudget: the wall-clock budget ran out before optimality.
+	ErrTimeBudget = errors.New("lp: time budget exhausted")
+	// ErrInfeasible: phase 1 proved no feasible point exists.
+	ErrInfeasible = errors.New("lp: infeasible")
+	// ErrUnbounded: the objective is unbounded over the feasible region.
+	ErrUnbounded = errors.New("lp: unbounded")
+	// ErrSuspect: the solver claims optimality but the solution fails the
+	// residual health check — floating-point drift has produced a vertex
+	// that violates the model's own constraints beyond tolerance.
+	ErrSuspect = errors.New("lp: solution numerically suspect")
+)
+
+// Err maps a status to its sentinel error (nil for Optimal). Combined
+// with Solution.Err it gives callers a uniform errors.Is-able taxonomy.
+func (s Status) Err() error {
+	switch s {
+	case Optimal:
+		return nil
+	case Infeasible:
+		return ErrInfeasible
+	case Unbounded:
+		return ErrUnbounded
+	case IterLimit:
+		return ErrIterLimit
+	case TimeLimit:
+		return ErrTimeBudget
+	}
+	return errors.New("lp: unknown status")
 }
 
 // Solution is the result of solving a Model.
@@ -196,8 +240,31 @@ type Solution struct {
 	ReducedCost []float64
 	// Iterations counts simplex pivots (both phases).
 	Iterations int
+	// Residual is the solution health check: the worst relative violation
+	// of any constraint row or variable bound by the reported X, computed
+	// in model space after an Optimal solve (0 otherwise). A correct
+	// simplex vertex satisfies its basis equations to roundoff; a residual
+	// far above tolerance means accumulated floating-point drift (e.g. a
+	// near-singular basis survived refactorization) and the "optimum"
+	// should not be trusted.
+	Residual float64
+	// Suspect flags an Optimal solution whose Residual exceeds
+	// Options.ResidualTol. The primal values and duals are still returned
+	// (they may be approximately right), but control loops should treat
+	// the solve as failed and retry cold or degrade.
+	Suspect bool
 
 	basis *Basis
+}
+
+// Err reports the solve outcome as a sentinel error: nil for a healthy
+// optimum, ErrSuspect for an Optimal-but-unhealthy one, and the status
+// sentinel (ErrInfeasible, ErrIterLimit, ...) otherwise.
+func (s *Solution) Err() error {
+	if s.Status == Optimal && s.Suspect {
+		return ErrSuspect
+	}
+	return s.Status.Err()
 }
 
 // Basis returns the terminal simplex basis of the solve, for warm-starting
@@ -226,6 +293,16 @@ type Options struct {
 	// RefactorEvery rebuilds the basis inverse from scratch after this
 	// many pivots (fights floating-point drift); 0 means 512.
 	RefactorEvery int
+	// TimeBudget bounds the wall-clock time of the solve; when it expires
+	// the solve returns Status TimeLimit (checked between pivots, so the
+	// overrun is at most one pivot). 0 means unlimited. This is the
+	// guardrail that keeps a control loop's step time bounded even when an
+	// LP degenerates: the caller gets a clean TimeLimit instead of a
+	// stalled controller.
+	TimeBudget time.Duration
+	// ResidualTol is the relative constraint-violation threshold above
+	// which an Optimal solution is flagged Suspect; 0 means 1e-6.
+	ResidualTol float64
 	// WarmBasis, when non-nil, starts the solve from this previously
 	// captured basis (see Solution.Basis) instead of running phase 1 from
 	// scratch. A basis that does not structurally match the model, is
@@ -248,6 +325,9 @@ func (o Options) withDefaults(n, m int) Options {
 	}
 	if o.RefactorEvery <= 0 {
 		o.RefactorEvery = defaultRefactorEvery
+	}
+	if o.ResidualTol <= 0 {
+		o.ResidualTol = 1e-6
 	}
 	return o
 }
@@ -300,5 +380,49 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 		}
 		sol.Dual[i] = d
 	}
+	sol.Residual = m.residual(sol.X)
+	sol.Suspect = sol.Residual > opts.ResidualTol
 	return sol, nil
+}
+
+// residual computes the worst relative violation of any constraint row or
+// variable bound by x — the solution health check behind Solution.Suspect.
+// Each row violation is scaled by 1 + |rhs| + max|term| so that large,
+// well-scaled models are not flagged for proportionate roundoff.
+func (m *Model) residual(x []float64) float64 {
+	worst := 0.0
+	note := func(viol, scale float64) {
+		if r := viol / scale; r > worst {
+			worst = r
+		}
+	}
+	for j := range x {
+		scale := 1 + math.Abs(x[j])
+		if lo := m.lo[j]; !math.IsInf(lo, -1) && x[j] < lo {
+			note(lo-x[j], scale)
+		}
+		if up := m.up[j]; !math.IsInf(up, 1) && x[j] > up {
+			note(x[j]-up, scale)
+		}
+	}
+	for i, terms := range m.rows {
+		lhs, mag := 0.0, 0.0
+		for _, t := range terms {
+			v := t.Coef * x[t.Var]
+			lhs += v
+			if a := math.Abs(v); a > mag {
+				mag = a
+			}
+		}
+		scale := 1 + math.Abs(m.rhs[i]) + mag
+		switch m.senses[i] {
+		case LE:
+			note(lhs-m.rhs[i], scale)
+		case GE:
+			note(m.rhs[i]-lhs, scale)
+		case EQ:
+			note(math.Abs(lhs-m.rhs[i]), scale)
+		}
+	}
+	return worst
 }

@@ -3,6 +3,7 @@ package lp
 import (
 	"errors"
 	"math"
+	"time"
 )
 
 // entry is one nonzero of a sparse column.
@@ -214,6 +215,16 @@ type state struct {
 	maxIter       int
 	refactorEvery int
 	sinceFactor   int // product-form pivots since binv was last refactorized
+	// deadline is the wall-clock cutoff from Options.TimeBudget (zero
+	// value = unlimited), checked between pivots.
+	deadline time.Time
+}
+
+// timedOut reports whether the wall-clock budget has expired. The check
+// runs once per pivot; a pivot costs O(m²) on the dense inverse, so the
+// time.Now call is noise even on small models.
+func (st *state) timedOut() bool {
+	return !st.deadline.IsZero() && !time.Now().Before(st.deadline)
 }
 
 const defaultRefactorEvery = 512
@@ -234,6 +245,9 @@ func (std *standard) solve(opts Options) result {
 		tol:           opts.Tol,
 		maxIter:       opts.MaxIters,
 		refactorEvery: opts.RefactorEvery,
+	}
+	if opts.TimeBudget > 0 {
+		st.deadline = time.Now().Add(opts.TimeBudget)
 	}
 	st.binv = identity(m)
 
@@ -295,8 +309,8 @@ func (std *standard) solve(opts Options) result {
 		}
 		if needPhase1 {
 			status := st.optimize(c1, false)
-			if status == IterLimit {
-				return result{status: IterLimit, iters: st.iters}
+			if status == IterLimit || status == TimeLimit {
+				return result{status: status, iters: st.iters}
 			}
 			infeas := 0.0
 			for i, j := range st.basis {
@@ -708,7 +722,7 @@ func (st *state) dualCleanup() bool {
 
 	limit := 4*m + 100
 	for iter := 0; ; iter++ {
-		if iter >= limit || st.iters >= st.maxIter {
+		if iter >= limit || st.iters >= st.maxIter || st.timedOut() {
 			return false
 		}
 		if st.sinceFactor >= st.refactorEvery {
@@ -827,6 +841,9 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 	for {
 		if st.iters >= st.maxIter {
 			return IterLimit
+		}
+		if st.timedOut() {
+			return TimeLimit
 		}
 		if st.sinceFactor >= st.refactorEvery {
 			if !st.refactor() {

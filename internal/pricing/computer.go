@@ -106,6 +106,11 @@ func ComputePricesBasis(net *graph.Network, history []HistoryEntry, capacity [][
 	if res.Status != lp.Optimal {
 		return nil, res.Basis, fmt.Errorf("pricing: offline LP %v", res.Status)
 	}
+	if res.Suspect {
+		// Duals from a numerically suspect solve would silently poison the
+		// whole next pricing window; better to keep the old prices.
+		return nil, res.Basis, fmt.Errorf("pricing: offline LP %w", lp.ErrSuspect)
+	}
 	window := make([][]float64, net.NumEdges())
 	for e := range window {
 		floor := cfg.MinPrice

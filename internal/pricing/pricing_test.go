@@ -415,3 +415,31 @@ func TestEstimateHighPriSetAsidePricingLocal(t *testing.T) {
 		}
 	}
 }
+
+func TestHighPriSetAsideClampedAtCapacity(t *testing.T) {
+	n, _ := twoPathNet() // edge 0: s->t, capacity 4
+	st := NewState(n, 2, 1)
+	// Two overlapping full-loss fault announcements each set aside the
+	// whole link: the set-aside must saturate at physical capacity, so
+	// planner capacity bottoms out at zero instead of going negative.
+	st.AddHighPri(0, 0, 4)
+	st.AddHighPri(0, 0, 4)
+	if got := st.HighPri[0][0]; got != 4 {
+		t.Errorf("set-aside %v, want clamp at capacity 4", got)
+	}
+	if got := st.Capacity(0, 0); got != 0 {
+		t.Errorf("capacity %v, want 0", got)
+	}
+	// Lifting the set-aside restores capacity and never goes negative.
+	st.SetHighPri(0, 0, -3)
+	if got := st.HighPri[0][0]; got != 0 {
+		t.Errorf("set-aside %v after negative set, want 0", got)
+	}
+	if got := st.Capacity(0, 0); got != 4 {
+		t.Errorf("capacity %v after lift, want 4", got)
+	}
+	// The segment cache must track the mutations (quote path reads it).
+	if got, want := st.segmentRoom(0, 0, 0), st.roomAt(0, 0, 0); got != want {
+		t.Errorf("segment cache stale: %v != %v", got, want)
+	}
+}

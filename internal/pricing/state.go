@@ -124,9 +124,26 @@ func (s *State) SetHighPriFraction(frac float64) {
 }
 
 // AddHighPri grows the high-pri set-aside on (e, t) — e.g. to model an
-// announced capacity fault — keeping the segment cache coherent.
+// announced capacity fault — keeping the segment cache coherent. The
+// set-aside is clamped to [0, physical capacity]: overlapping fault
+// announcements on one edge (each reserving the lost share independently)
+// must saturate at "the whole link is gone", not drive the planner's view
+// of capacity negative.
 func (s *State) AddHighPri(e graph.EdgeID, t int, amount float64) {
-	s.HighPri[e][t] += amount
+	s.SetHighPri(e, t, s.HighPri[e][t]+amount)
+}
+
+// SetHighPri overwrites the set-aside on (e, t), clamped to [0, physical
+// capacity], keeping the segment cache coherent. Chaos/fault tooling uses
+// it to both impose and lift capacity reductions.
+func (s *State) SetHighPri(e graph.EdgeID, t int, amount float64) {
+	if amount < 0 {
+		amount = 0
+	}
+	if cap := s.Net.Edge(e).Capacity; amount > cap {
+		amount = cap
+	}
+	s.HighPri[e][t] = amount
 	s.refreshSeg(e, t)
 }
 

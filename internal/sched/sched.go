@@ -134,6 +134,11 @@ type Result struct {
 	Price [][]float64
 	// Iterations counts simplex pivots.
 	Iterations int
+	// Suspect flags an Optimal solve whose solution failed the lp residual
+	// health check (see lp.Solution.Suspect): allocations are populated but
+	// the control loop should treat the solve as failed and retry cold or
+	// fall back (the allocations may overfill capacity).
+	Suspect bool
 	// Basis is the terminal simplex basis, for warm-starting the next
 	// solve of a structurally identical instance (see lp.Options.WarmBasis).
 	// Non-nil after Optimal and Infeasible solves.
@@ -374,6 +379,7 @@ func (b *Built) Solve(opts lp.Options) (*Result, error) {
 	res := &Result{
 		Status:     sol.Status,
 		Iterations: sol.Iterations,
+		Suspect:    sol.Suspect,
 		Basis:      sol.Basis(),
 		Delivered:  make([]float64, len(ins.Demands)),
 		EdgeUsage:  make([][]float64, ne),
