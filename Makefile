@@ -17,8 +17,12 @@ check:
 
 # bench runs the root experiment benchmarks, then the admission-path
 # micro-benchmarks with a machine-readable report in BENCH_admission.json
-# (regression gate for the quote-engine fast path).
+# (regression gate for the quote-engine fast path), then the SAM solver
+# benchmarks (sparse LU vs dense reference kernel) into BENCH_solver.json
+# (the perf trajectory of the simplex core across PRs).
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 	$(GO) test -run '^$$' -bench 'QuoteMenu|Admit' -benchmem ./internal/pricing | \
 		$(GO) run ./cmd/benchjson -out BENCH_admission.json
+	$(GO) test -run '^$$' -bench 'SAMSolve|SAMResolveWarm' -benchmem ./internal/sched | \
+		$(GO) run ./cmd/benchjson -out BENCH_solver.json

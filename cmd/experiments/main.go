@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -174,8 +176,38 @@ func main() {
 		seed  = flag.Int64("seed", 1, "experiment seed")
 		list  = flag.Bool("list", false, "list experiments")
 		plot  = flag.Bool("plot", false, "render ASCII bar charts under each table")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list || *name == "" {
 		names := make([]string, 0, len(experiments))

@@ -11,11 +11,11 @@ import "math"
 // new data is silently discarded and the solve falls back to a cold start.
 //
 // A basis that is structurally valid but primal infeasible for the new
-// right-hand side (the common case after any RHS change: xB = Binv·b picks
-// up every perturbation through the dense inverse) is not discarded
-// immediately: if it is still dual feasible — which RHS-only changes
-// preserve, since reduced costs do not depend on b — a short dual-simplex
-// cleanup restores primal feasibility in a few pivots before phase 2 runs.
+// right-hand side (the common case after any RHS change: xB = B⁻¹b picks
+// up every perturbation through the inverse) is not discarded immediately:
+// if it is still dual feasible — which RHS-only changes preserve, since
+// reduced costs do not depend on b — a short dual-simplex cleanup restores
+// primal feasibility in a few pivots before phase 2 runs.
 //
 // The intended use is the SAM/PC control loop: successive re-solves of the
 // same LP skeleton after an RHS or objective perturbation typically need a
@@ -27,24 +27,26 @@ type Basis struct {
 	basic   []int  // basic standardized column per row
 	atUpper []bool // nonbasic-at-upper flag per standardized column
 
-	// binv is the dense basis inverse as of capture, aliased (not copied)
-	// from the solver state, which never mutates it after capture. Because
-	// sig covers the constraint matrix entries, a signature match
-	// guarantees the same basis columns, so the inverse can be reinstalled
-	// directly — skipping the O(m³) refactorization that would otherwise
-	// eat the entire warm-start saving. age is the number of product-form
-	// pivots applied since binv was last refactorized; it rides along so
-	// the periodic-refactorization hygiene policy spans chains of warm
-	// solves exactly as it spans pivots within one solve.
-	binv [][]float64
-	age  int
+	// fac is a deep snapshot of the basis representation (sparse LU + eta
+	// file, or the dense reference inverse) as of capture. It is cloned on
+	// capture and cloned again on install, so no later solve — on the
+	// originating state or any state the basis is installed into — can
+	// mutate the snapshot. Because sig covers the constraint matrix
+	// entries, a signature match guarantees the same basis columns, so the
+	// factorization can be reinstalled directly — skipping the
+	// refactorization that would otherwise eat much of the warm-start
+	// saving. Its age (product-form pivots since the last refactorization)
+	// rides along inside the snapshot so the periodic-refactorization
+	// hygiene policy spans chains of warm solves exactly as it spans pivots
+	// within one solve.
+	fac factor
 }
 
 // signature fingerprints the standardization: column count, row count, the
 // artificial-column pattern (which encodes the normalized senses), and
 // every constraint-matrix nonzero. Models that hash equal share an index
 // space AND a constraint matrix — only right-hand sides, bounds, and
-// objective may differ — so a captured basis, including its dense inverse,
+// objective may differ — so a captured basis, including its factorization,
 // can be transplanted verbatim.
 func (std *standard) signature() uint64 {
 	const (
@@ -79,9 +81,10 @@ func (b *Basis) matches(std *standard) bool {
 	return b != nil && b.m == std.m && b.n == std.n && b.sig == std.signature()
 }
 
-// capture snapshots the current basis of st. The dense inverse is aliased,
-// not copied: solve() never mutates binv after its capture points, and
-// installWarm copies it back out, so the alias is never written through.
+// capture snapshots the current basis of st. The factorization is deep-
+// cloned, so later pivots on st (or a fresh solve reusing the state) can
+// never corrupt the captured snapshot — the regression test
+// TestCaptureSurvivesLaterMutation locks this contract in.
 func (st *state) capture() *Basis {
 	return &Basis{
 		m:       st.std.m,
@@ -89,8 +92,7 @@ func (st *state) capture() *Basis {
 		sig:     st.std.signature(),
 		basic:   append([]int(nil), st.basis...),
 		atUpper: append([]bool(nil), st.atUpper...),
-		binv:    st.binv,
-		age:     st.sinceFactor,
+		fac:     st.fac.clone(),
 	}
 }
 
@@ -124,12 +126,12 @@ func (st *state) effUpper(j int) float64 {
 	return st.std.up[j]
 }
 
-// installWarm loads a structurally matching basis into st, refactorizes,
-// and classifies the result: warmPrimal when the implied basic values are
-// primal feasible (with basic artificials at numerical zero), warmRepair
-// when the basis is valid but the new right-hand side pushed some basic
-// value out of bounds, warmNo when the basis is unusable. On warmNo the
-// caller must fall back to a cold start and fully re-initialize st.
+// installWarm loads a structurally matching basis into st and classifies
+// the result: warmPrimal when the implied basic values are primal feasible
+// (with basic artificials at numerical zero), warmRepair when the basis is
+// valid but the new right-hand side pushed some basic value out of bounds,
+// warmNo when the basis is unusable. On warmNo the caller must fall back
+// to a cold start and fully re-initialize st.
 func (st *state) installWarm(b *Basis) warmFit {
 	std := st.std
 	copy(st.basis, b.basic)
@@ -148,19 +150,19 @@ func (st *state) installWarm(b *Basis) warmFit {
 			return warmNo // cannot rest at an infinite upper bound
 		}
 	}
-	if b.binv != nil && b.age < st.refactorEvery {
-		// Reuse the captured inverse: the signature match guarantees the
-		// basis columns are identical, so b.binv is still B⁻¹ for the new
-		// model and the O(m³) refactorization can be skipped outright —
-		// the dominant cost of a warm install. Only the basic values need
-		// recomputing against the new right-hand side.
-		for i, row := range b.binv {
-			copy(st.binv[i], row)
-		}
-		st.sinceFactor = b.age
+	if b.fac != nil && b.fac.denseKernel() == st.fac.denseKernel() &&
+		b.fac.age() < st.refactorEvery && !b.fac.wantRefactor() {
+		// Reuse the captured factorization: the signature match guarantees
+		// the basis columns are identical, so the snapshot still represents
+		// B⁻¹ for the new model and the refactorization can be skipped
+		// outright — the dominant cost of a warm install. The snapshot is
+		// cloned again so this solve's pivots cannot corrupt the caller's
+		// Basis (which may warm-start further solves). Only the basic
+		// values need recomputing against the new right-hand side.
+		st.fac = b.fac.clone()
 		st.recomputeXB()
-	} else if !st.refactor() {
-		return warmNo // singular basis matrix
+	} else if st.refactor() != refactorOK {
+		return warmNo // singular basis matrix (or budget expired mid-rebuild)
 	}
 	fit := warmPrimal
 	for i, j := range st.basis {

@@ -1,0 +1,259 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// solveBoth runs the model on the sparse (default) and dense (reference)
+// kernels with otherwise identical options.
+func solveBoth(t *testing.T, m *Model, opts Options) (sparse, dense *Solution) {
+	t.Helper()
+	so := opts
+	so.DenseKernel = false
+	sp, err := m.Solve(so)
+	if err != nil && sp == nil {
+		t.Fatalf("sparse solve: %v", err)
+	}
+	do := opts
+	do.DenseKernel = true
+	dn, err := m.Solve(do)
+	if err != nil && dn == nil {
+		t.Fatalf("dense solve: %v", err)
+	}
+	return sp, dn
+}
+
+// requireAgreement asserts the two kernels reached the same status and, for
+// Optimal outcomes, matching objective, primal, dual, and reduced-cost
+// vectors. Both kernels run the identical pivot sequence (pricing and ratio
+// tests are deterministic and the kernels differ only in roundoff), so
+// element-wise agreement is the expected behavior, not a lucky accident.
+func requireAgreement(t *testing.T, sp, dn *Solution, ctx string) {
+	t.Helper()
+	if sp.Status != dn.Status {
+		t.Fatalf("%s: status sparse=%v dense=%v", ctx, sp.Status, dn.Status)
+	}
+	if sp.Status != Optimal {
+		return
+	}
+	relTol := 1e-6 * (1 + math.Abs(dn.Objective))
+	if d := math.Abs(sp.Objective - dn.Objective); d > relTol {
+		t.Fatalf("%s: objective sparse=%v dense=%v (diff %g)", ctx, sp.Objective, dn.Objective, d)
+	}
+	for j := range dn.X {
+		if d := math.Abs(sp.X[j] - dn.X[j]); d > 1e-5*(1+math.Abs(dn.X[j])) {
+			t.Fatalf("%s: x[%d] sparse=%v dense=%v", ctx, j, sp.X[j], dn.X[j])
+		}
+	}
+	for i := range dn.Dual {
+		if d := math.Abs(sp.Dual[i] - dn.Dual[i]); d > 1e-5*(1+math.Abs(dn.Dual[i])) {
+			t.Fatalf("%s: dual[%d] sparse=%v dense=%v", ctx, i, sp.Dual[i], dn.Dual[i])
+		}
+	}
+	for j := range dn.ReducedCost {
+		if d := math.Abs(sp.ReducedCost[j] - dn.ReducedCost[j]); d > 1e-5*(1+math.Abs(dn.ReducedCost[j])) {
+			t.Fatalf("%s: redcost[%d] sparse=%v dense=%v", ctx, j, sp.ReducedCost[j], dn.ReducedCost[j])
+		}
+	}
+}
+
+// TestKernelDifferentialSAMShaped: the tentpole's differential gate — on
+// randomized SAM-shaped instances the sparse LU kernel must reproduce the
+// dense reference kernel's objective, primals, duals, and reduced costs,
+// both cold and across warm-started re-solves after an RHS perturbation.
+func TestKernelDifferentialSAMShaped(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		seed := int64(5000 + trial)
+		model := samShapedLP(rand.New(rand.NewSource(seed)), 1.0)
+		sp, dn := solveBoth(t, model, Options{})
+		requireAgreement(t, sp, dn, "cold")
+		if sp.Status != Optimal {
+			continue
+		}
+
+		// Warm re-solve of an RHS-perturbed sibling, each kernel restarting
+		// from its own captured basis.
+		perturbed := samShapedLP(rand.New(rand.NewSource(seed)), 1.07)
+		wsp, err := perturbed.Solve(Options{WarmBasis: sp.Basis()})
+		if err != nil {
+			t.Fatalf("trial %d: sparse warm: %v", trial, err)
+		}
+		wdn, err := perturbed.Solve(Options{WarmBasis: dn.Basis(), DenseKernel: true})
+		if err != nil {
+			t.Fatalf("trial %d: dense warm: %v", trial, err)
+		}
+		if wsp.Status != Optimal || wdn.Status != Optimal {
+			t.Fatalf("trial %d: warm statuses %v/%v", trial, wsp.Status, wdn.Status)
+		}
+		relTol := 1e-6 * (1 + math.Abs(wdn.Objective))
+		if d := math.Abs(wsp.Objective - wdn.Objective); d > relTol {
+			t.Fatalf("trial %d: warm objective sparse=%v dense=%v", trial, wsp.Objective, wdn.Objective)
+		}
+		for i := range wdn.Dual {
+			if d := math.Abs(wsp.Dual[i] - wdn.Dual[i]); d > 1e-5*(1+math.Abs(wdn.Dual[i])) {
+				t.Fatalf("trial %d: warm dual[%d] sparse=%v dense=%v", trial, i, wsp.Dual[i], wdn.Dual[i])
+			}
+		}
+
+		// Cross-kernel warm start: a basis captured on the dense kernel
+		// carries a dense snapshot; installing it into a sparse solve must
+		// transparently refactorize rather than reuse the foreign snapshot,
+		// and still land on the same optimum.
+		cross, err := perturbed.Solve(Options{WarmBasis: dn.Basis()})
+		if err != nil {
+			t.Fatalf("trial %d: cross-kernel warm: %v", trial, err)
+		}
+		if cross.Status != Optimal || math.Abs(cross.Objective-wdn.Objective) > relTol {
+			t.Fatalf("trial %d: cross-kernel warm objective %v want %v", trial, cross.Objective, wdn.Objective)
+		}
+	}
+}
+
+// TestKernelDifferentialDegenerate: highly degenerate instances — identical
+// replicated capacity rows force massive ratio-test ties and zero-length
+// pivots — must terminate at the same optimum on both kernels.
+func TestKernelDifferentialDegenerate(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		r := rand.New(rand.NewSource(int64(7000 + trial)))
+		m := NewModel()
+		m.SetMaximize(true)
+		n := 6 + r.Intn(5)
+		vars := make([]Term, n)
+		for j := 0; j < n; j++ {
+			v := m.AddVar(0, 1, 1+float64(j%3)*0.5, "x")
+			vars[j] = Term{Var: v, Coef: 1}
+		}
+		// The same aggregate row replicated many times: every ratio test
+		// over these rows ties exactly.
+		cap := 1 + r.Float64()*2
+		for k := 0; k < 10; k++ {
+			m.AddConstraint(LE, cap, vars...)
+		}
+		// A few random side rows so the instance is not pure replication.
+		for k := 0; k < 3; k++ {
+			terms := []Term{vars[r.Intn(n)], vars[r.Intn(n)]}
+			m.AddConstraint(LE, cap*0.8, terms...)
+		}
+		sp, dn := solveBoth(t, m, Options{})
+		requireAgreement(t, sp, dn, "degenerate")
+		if sp.Status != Optimal {
+			t.Fatalf("trial %d: degenerate instance not optimal: %v", trial, sp.Status)
+		}
+	}
+}
+
+// TestKernelDifferentialTaxonomy: infeasible and unbounded instances must
+// classify identically on both kernels.
+func TestKernelDifferentialTaxonomy(t *testing.T) {
+	inf := NewModel()
+	x := inf.AddVar(0, 10, 1, "x")
+	inf.AddConstraint(GE, 5, Term{Var: x, Coef: 1})
+	inf.AddConstraint(LE, 2, Term{Var: x, Coef: 1})
+	spI, dnI := solveBoth(t, inf, Options{})
+	if spI.Status != Infeasible || dnI.Status != Infeasible {
+		t.Fatalf("infeasible: sparse=%v dense=%v", spI.Status, dnI.Status)
+	}
+
+	unb := NewModel()
+	unb.SetMaximize(true)
+	y := unb.AddVar(0, Inf, 1, "y")
+	z := unb.AddVar(0, Inf, 1, "z")
+	unb.AddConstraint(GE, 1, Term{Var: y, Coef: 1}, Term{Var: z, Coef: 1})
+	spU, dnU := solveBoth(t, unb, Options{})
+	if spU.Status != Unbounded || dnU.Status != Unbounded {
+		t.Fatalf("unbounded: sparse=%v dense=%v", spU.Status, dnU.Status)
+	}
+}
+
+// TestSparseSolveWithGrowthOnlyRefactor: with the periodic cadence pushed
+// out of reach, the sparse kernel's own eta-growth/drift policy is the only
+// thing triggering mid-solve refactorizations — the solve must still reach
+// the reference optimum. (The kernel-level growth trigger is asserted
+// directly in TestLUGrowthTriggersRefactor.)
+func TestSparseSolveWithGrowthOnlyRefactor(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		model := samShapedLP(rand.New(rand.NewSource(int64(8100+trial))), 1.0)
+		want, err := model.Solve(Options{DenseKernel: true})
+		if err != nil || want.Status != Optimal {
+			continue
+		}
+		got, err := model.Solve(Options{RefactorEvery: 1 << 20})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		relTol := 1e-6 * (1 + math.Abs(want.Objective))
+		if got.Status != Optimal || math.Abs(got.Objective-want.Objective) > relTol {
+			t.Fatalf("trial %d: growth-only refactor objective %v want %v (status %v)",
+				trial, got.Objective, want.Objective, got.Status)
+		}
+	}
+}
+
+// TestCaptureSurvivesLaterMutation: the satellite regression for the old
+// "dense inverse is aliased, not copied" hazard. A captured Basis must stay
+// valid no matter how many later warm solves pivot away from it: installing
+// it twice (with a different perturbation in between, so the first warm
+// solve mutates its installed copy heavily) must give the same result as a
+// cold solve each time.
+func TestCaptureSurvivesLaterMutation(t *testing.T) {
+	for _, dense := range []bool{false, true} {
+		seed := int64(4242)
+		base := samShapedLP(rand.New(rand.NewSource(seed)), 1.0)
+		first, err := base.Solve(Options{DenseKernel: dense})
+		if err != nil || first.Status != Optimal {
+			t.Fatalf("dense=%v: base solve %v %v", dense, first.Status, err)
+		}
+		b := first.Basis()
+		if b == nil {
+			t.Fatalf("dense=%v: no basis captured", dense)
+		}
+
+		// Warm solve #1 against a strongly perturbed sibling: plenty of
+		// dual-cleanup and phase-2 pivots mutate the installed factorization.
+		p1 := samShapedLP(rand.New(rand.NewSource(seed)), 1.9)
+		if _, err := p1.Solve(Options{WarmBasis: b, DenseKernel: dense}); err != nil {
+			t.Fatalf("dense=%v: warm solve 1: %v", dense, err)
+		}
+
+		// Warm solve #2 from the SAME captured basis must be unaffected by
+		// solve #1's pivots and match a cold solve of the same model.
+		p2 := samShapedLP(rand.New(rand.NewSource(seed)), 1.4)
+		cold, err := p2.Solve(Options{DenseKernel: dense})
+		if err != nil || cold.Status != Optimal {
+			t.Fatalf("dense=%v: cold reference %v %v", dense, cold.Status, err)
+		}
+		warm, err := p2.Solve(Options{WarmBasis: b, DenseKernel: dense})
+		if err != nil || warm.Status != Optimal {
+			t.Fatalf("dense=%v: warm solve 2 %v %v", dense, warm.Status, err)
+		}
+		relTol := 1e-6 * (1 + math.Abs(cold.Objective))
+		if d := math.Abs(warm.Objective - cold.Objective); d > relTol {
+			t.Fatalf("dense=%v: captured basis corrupted by intervening solve: warm %v cold %v",
+				dense, warm.Objective, cold.Objective)
+		}
+	}
+}
+
+// TestTimeBudgetStillBindsOnSparseKernel: the PR-3 wall-clock guardrail must
+// hold end-to-end on the new default kernel — an absurdly small budget
+// yields TimeLimit (with ErrTimeBudget) and no captured basis.
+func TestTimeBudgetStillBindsOnSparseKernel(t *testing.T) {
+	model := samShapedLP(rand.New(rand.NewSource(99)), 1.0)
+	sol, err := model.Solve(Options{TimeBudget: time.Nanosecond, RefactorEvery: 1})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != TimeLimit {
+		t.Fatalf("status %v, want TimeLimit", sol.Status)
+	}
+	if !errors.Is(sol.Err(), ErrTimeBudget) {
+		t.Fatalf("Err() = %v, want ErrTimeBudget", sol.Err())
+	}
+	if sol.Basis() != nil {
+		t.Fatal("a timed-out solve must not capture a basis")
+	}
+}

@@ -1,0 +1,555 @@
+package lp
+
+import (
+	"math"
+	"time"
+)
+
+// luFactor is the sparse kernel: the basis is held as a sparse LU
+// factorization with Markowitz-style pivot ordering, and pivots applied
+// since the last factorization live in a product-form eta file. FTRAN and
+// BTRAN are sparse triangular solves plus an eta pass, so their cost tracks
+// the factorization's nonzero count instead of m² — on Pretium's SAM models
+// (flow rows, per-(edge,t) capacity rows, sorting-network comparators, each
+// touching a handful of variables) that is the difference between O(m²) and
+// near-O(nnz) per pivot.
+//
+// Representation. Factorization of B (rows = constraint rows, columns =
+// basis positions) by right-looking Gaussian elimination choosing pivot
+// (i,j) to minimize the Markowitz cost (r_i−1)(c_j−1) subject to threshold
+// stability |a_ij| ≥ tau·max|column j|:
+//
+//   - lops: the elimination multipliers in application order; applying them
+//     to a right-hand side is the L⁻¹ pass (row space, no permutation
+//     needed because each op names original row indices).
+//   - urows/udiag + permRow/permPos: the rows that became pivot rows, i.e.
+//     U in elimination order; entries are indexed by elimination step so
+//     back-substitution (FTRAN) and the transposed forward solve (BTRAN)
+//     are direct slice walks.
+//   - etas: product-form updates E_1…E_k appended by update(); B = B₀E₁…E_k
+//     so FTRAN applies them last in order and BTRAN first in reverse.
+//
+// All iteration orders are slice-deterministic: two solves of the same
+// model pivot identically (warm-start determinism tests rely on this).
+type luFactor struct {
+	m    int
+	lops []lop   // L⁻¹ as elimination ops, in application order
+	ur   [][]lue // U row per elimination step k: entries at steps > k
+	ud   []float64
+	permRow []int32 // step k -> original constraint row
+	permPos []int32 // step k -> basis position
+
+	etas    []eta
+	etaNnz  int
+	baseNnz int  // nnz(L)+nnz(U) at factorization, anchors the growth policy
+	drift   bool // an ill-conditioned eta pivot was absorbed
+
+	xwork []float64 // row-space scratch
+	zwork []float64 // elimination-order scratch
+}
+
+// lue is one off-diagonal U entry: k is the elimination step of the column
+// it belongs to (always greater than the owning row's step).
+type lue struct {
+	k   int32
+	val float64
+}
+
+// lop is one elimination step's multipliers: x[nz.row] -= nz.val * x[prow].
+type lop struct {
+	prow int32
+	nz   []entry
+}
+
+// eta is one product-form update: the basis column at position r was
+// replaced by a column with tableau form w (nz holds w's off-pivot
+// nonzeros by position, piv = w[r]).
+type eta struct {
+	r   int32
+	piv float64
+	nz  []entry // entry.row is a basis position here
+}
+
+const (
+	// markowitzTau is the threshold-pivoting stability factor: a pivot
+	// must be at least this fraction of its column's largest magnitude.
+	markowitzTau = 0.1
+	// markowitzCandidates bounds the pivot search to the few lowest-count
+	// columns; a full scan only runs when none of them yields a stable
+	// pivot.
+	markowitzCandidates = 4
+	// luDropTol: elimination results below this magnitude are treated as
+	// exact cancellation and dropped from the active matrix.
+	luDropTol = 1e-12
+	// luAbsPivotMin: no usable pivot above this magnitude in any column
+	// means the basis is numerically singular.
+	luAbsPivotMin = 1e-11
+	// etaDropTol: tableau-column entries below this magnitude are noise
+	// (the ratio test already ignores anything under 1e-9) and excluded
+	// from stored etas.
+	etaDropTol = 1e-13
+	// etaDriftTol: an eta pivot smaller than this fraction of its
+	// column's largest entry marks the representation drift-suspect,
+	// forcing a refactorization before the next pivot.
+	etaDriftTol = 1e-8
+	// etaGrowthLimit caps the eta file at this multiple of the base
+	// factorization's nonzeros (plus a 4m allowance) before a
+	// refactorization is requested — past that point applying the eta
+	// file costs more than refactoring.
+	etaGrowthLimit = 4
+)
+
+func (f *luFactor) denseKernel() bool { return false }
+func (f *luFactor) age() int          { return len(f.etas) }
+
+func (f *luFactor) wantRefactor() bool {
+	return f.drift || f.etaNnz > etaGrowthLimit*f.baseNnz+4*f.m
+}
+
+func (f *luFactor) ensureScratch() {
+	if len(f.xwork) != f.m {
+		f.xwork = make([]float64, f.m)
+		f.zwork = make([]float64, f.m)
+	}
+}
+
+// reset installs the identity factorization (the cold-start basis is the
+// identity by construction). Fresh slices are allocated so a reset can
+// never write through arrays shared with a cloned snapshot.
+func (f *luFactor) reset(m int) {
+	f.m = m
+	f.lops = nil
+	f.ur = make([][]lue, m)
+	f.ud = make([]float64, m)
+	f.permRow = make([]int32, m)
+	f.permPos = make([]int32, m)
+	for k := 0; k < m; k++ {
+		f.ud[k] = 1
+		f.permRow[k] = int32(k)
+		f.permPos[k] = int32(k)
+	}
+	f.etas = nil
+	f.etaNnz = 0
+	f.baseNnz = m
+	f.drift = false
+	f.ensureScratch()
+}
+
+// ment is an active-matrix entry during factorization, indexed by basis
+// position.
+type ment struct {
+	pos int32
+	val float64
+}
+
+// rowGet finds the entry of row at position pos (rows are short slices, so
+// a linear scan beats any index structure).
+func rowGet(row []ment, pos int32) (float64, bool) {
+	for _, e := range row {
+		if e.pos == pos {
+			return e.val, true
+		}
+	}
+	return 0, false
+}
+
+// refactorize factors the basis columns from scratch, replacing every
+// internal slice (clones taken earlier keep their own view), and clears the
+// eta file. The deadline is checked every 64 elimination steps so a large
+// factorization respects Options.TimeBudget.
+func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) refactorOutcome {
+	m := std.m
+	f.m = m
+	f.ensureScratch()
+
+	// Active matrix: rows by original constraint row, a per-position list
+	// of rows that (may) hold a nonzero there, and exact per-row/column
+	// nonzero counts for the Markowitz cost.
+	rowNz := make([][]ment, m)
+	colRows := make([][]int32, m)
+	colCount := make([]int, m)
+	rowCount := make([]int, m)
+	for p, j := range basis {
+		col := std.cols[j]
+		colCount[p] = len(col)
+		rows := make([]int32, 0, len(col))
+		for _, e := range col {
+			rowNz[e.row] = append(rowNz[e.row], ment{pos: int32(p), val: e.val})
+			rows = append(rows, int32(e.row))
+		}
+		colRows[p] = rows
+	}
+	for i := range rowNz {
+		rowCount[i] = len(rowNz[i])
+	}
+
+	rowDone := make([]bool, m)
+	colDone := make([]bool, m)
+	lops := make([]lop, 0, m/4+1)
+	ur := make([][]lue, m)    // built as position-indexed, remapped at the end
+	urPos := make([][]ment, m)
+	ud := make([]float64, m)
+	permRow := make([]int32, m)
+	permPos := make([]int32, m)
+
+	// Stamped row-visited marks dedupe colRows (a row is re-appended when
+	// a dropped entry fills back in).
+	seen := make([]int, m)
+	stamp := 0
+
+	ws := f.xwork // dense row-combination workspace, by position
+	inWs := make([]bool, m)
+	posList := make([]int32, 0, 64)
+
+	for k := 0; k < m; k++ {
+		if k&63 == 0 && expired(deadline) {
+			return refactorTimeout
+		}
+
+		// Markowitz pivot search over the lowest-count columns.
+		pr, pc, piv := int32(-1), int32(-1), 0.0
+		bestCost := math.MaxInt64 - 1
+		scanCol := func(j int32) bool {
+			// Two passes over the column's live entries: max magnitude
+			// for the stability threshold, then cost minimization.
+			stamp++
+			colMax := 0.0
+			for _, r := range colRows[j] {
+				if rowDone[r] || seen[r] == stamp {
+					continue
+				}
+				seen[r] = stamp
+				if v, ok := rowGet(rowNz[r], j); ok {
+					if a := math.Abs(v); a > colMax {
+						colMax = a
+					}
+				}
+			}
+			if colMax < luAbsPivotMin {
+				return false
+			}
+			thresh := markowitzTau * colMax
+			found := false
+			stamp++
+			for _, r := range colRows[j] {
+				if rowDone[r] || seen[r] == stamp {
+					continue
+				}
+				seen[r] = stamp
+				v, ok := rowGet(rowNz[r], j)
+				if !ok || math.Abs(v) < thresh || math.Abs(v) < luAbsPivotMin {
+					continue
+				}
+				cost := (rowCount[r] - 1) * (colCount[j] - 1)
+				if cost < bestCost || (cost == bestCost && (j < pc || (j == pc && r < pr))) {
+					bestCost, pr, pc, piv = cost, r, j, v
+					found = true
+				}
+			}
+			return found
+		}
+
+		// Up to markowitzCandidates lowest-count active columns, ties to
+		// the lower position for determinism.
+		var cand [markowitzCandidates]int32
+		var candCount [markowitzCandidates]int
+		nc := 0
+		for j := 0; j < m; j++ {
+			if colDone[j] {
+				continue
+			}
+			c := colCount[j]
+			if c == 0 {
+				return refactorSingular // no fill can ever reach it
+			}
+			i := nc
+			if nc < markowitzCandidates {
+				nc++
+			} else if c >= candCount[nc-1] {
+				continue
+			} else {
+				i = nc - 1
+			}
+			for i > 0 && candCount[i-1] > c {
+				cand[i], candCount[i] = cand[i-1], candCount[i-1]
+				i--
+			}
+			cand[i], candCount[i] = int32(j), c
+		}
+		for i := 0; i < nc; i++ {
+			scanCol(cand[i])
+			if bestCost == 0 {
+				break // a singleton row or column cannot be beaten
+			}
+		}
+		if pr < 0 {
+			// None of the low-count candidates had a stable pivot; fall
+			// back to scanning every active column before declaring the
+			// basis singular.
+			for j := 0; j < m && bestCost > 0; j++ {
+				if !colDone[j] {
+					scanCol(int32(j))
+				}
+			}
+			if pr < 0 {
+				return refactorSingular
+			}
+		}
+
+		// Eliminate pivot (pr, pc).
+		permRow[k], permPos[k] = pr, pc
+		rowDone[pr], colDone[pc] = true, true
+		pivRow := rowNz[pr]
+		urow := make([]ment, 0, len(pivRow)-1)
+		for _, e := range pivRow {
+			colCount[e.pos]--
+			if e.pos != pc {
+				urow = append(urow, e)
+			}
+		}
+		urPos[k] = urow
+		ud[k] = piv
+
+		var opnz []entry
+		stamp++
+		for _, r32 := range colRows[pc] {
+			r := int(r32)
+			if rowDone[r] || seen[r] == stamp {
+				continue
+			}
+			seen[r] = stamp
+			arpc, ok := rowGet(rowNz[r], pc)
+			if !ok {
+				continue
+			}
+			mult := arpc / piv
+			opnz = append(opnz, entry{row: r, val: mult})
+			colCount[pc]--
+			// Row combination: row r ← row r − mult·(pivot row), with the
+			// pivot column eliminated exactly. Scatter, saxpy, gather.
+			old := rowNz[r]
+			posList = posList[:0]
+			for _, e := range old {
+				if e.pos == pc {
+					continue
+				}
+				ws[e.pos] = e.val
+				inWs[e.pos] = true
+				posList = append(posList, e.pos)
+			}
+			for _, e := range urow {
+				if inWs[e.pos] {
+					ws[e.pos] -= mult * e.val
+				} else {
+					ws[e.pos] = -mult * e.val
+					inWs[e.pos] = true
+					posList = append(posList, e.pos)
+					colRows[e.pos] = append(colRows[e.pos], r32)
+					colCount[e.pos]++
+				}
+			}
+			newRow := old[:0]
+			for _, pos := range posList {
+				v := ws[pos]
+				inWs[pos] = false
+				if math.Abs(v) <= luDropTol {
+					colCount[pos]-- // cancelled to (numerical) zero
+					continue
+				}
+				newRow = append(newRow, ment{pos: pos, val: v})
+			}
+			rowNz[r] = newRow
+			rowCount[r] = len(newRow)
+		}
+		if len(opnz) > 0 {
+			lops = append(lops, lop{prow: pr, nz: opnz})
+		}
+		rowNz[pr] = nil
+	}
+
+	// Remap U entries from basis positions to elimination steps: every
+	// off-diagonal entry belongs to a column eliminated later, so FTRAN's
+	// descending back-substitution and BTRAN's ascending transposed solve
+	// become direct walks.
+	posOfPos := make([]int32, m)
+	for k, p := range permPos {
+		posOfPos[p] = int32(k)
+	}
+	nnz := m
+	for k, src := range urPos {
+		u := make([]lue, len(src))
+		for i, e := range src {
+			u[i] = lue{k: posOfPos[e.pos], val: e.val}
+		}
+		ur[k] = u
+		nnz += len(u)
+	}
+	for _, op := range lops {
+		nnz += len(op.nz)
+	}
+
+	f.lops = lops
+	f.ur = ur
+	f.ud = ud
+	f.permRow = permRow
+	f.permPos = permPos
+	f.etas = nil
+	f.etaNnz = 0
+	f.baseNnz = nnz
+	f.drift = false
+	// The workspace doubled as the scatter buffer; leave it zeroed.
+	for i := range ws {
+		ws[i] = 0
+	}
+	return refactorOK
+}
+
+// solveForward is the FTRAN core: x (row space, consumed) through L⁻¹, U
+// back-substitution, permutation to position space, then the eta file.
+func (f *luFactor) solveForward(x, out []float64) {
+	for li := range f.lops {
+		op := &f.lops[li]
+		pv := x[op.prow]
+		if pv != 0 {
+			for _, nz := range op.nz {
+				x[nz.row] -= nz.val * pv
+			}
+		}
+	}
+	z := f.zwork
+	for k := f.m - 1; k >= 0; k-- {
+		v := x[f.permRow[k]]
+		for _, e := range f.ur[k] {
+			v -= e.val * z[e.k]
+		}
+		z[k] = v / f.ud[k]
+	}
+	for k := 0; k < f.m; k++ {
+		out[f.permPos[k]] = z[k]
+	}
+	// B = B₀E₁…E_k ⇒ B⁻¹ = E_k⁻¹…E₁⁻¹B₀⁻¹: etas apply last, in order.
+	for ei := range f.etas {
+		e := &f.etas[ei]
+		t := out[e.r] / e.piv
+		out[e.r] = t
+		if t != 0 {
+			for _, nz := range e.nz {
+				out[nz.row] -= nz.val * t
+			}
+		}
+	}
+}
+
+func (f *luFactor) ftranCol(col []entry, out []float64) {
+	x := f.xwork
+	for i := range x {
+		x[i] = 0
+	}
+	for _, e := range col {
+		x[e.row] = e.val
+	}
+	f.solveForward(x, out)
+}
+
+func (f *luFactor) ftranDense(x, out []float64) {
+	copy(f.xwork, x)
+	f.solveForward(f.xwork, out)
+}
+
+// solveBackward is the BTRAN core: p (position space, consumed) through the
+// transposed eta file in reverse, Uᵀ forward solve, permutation to row
+// space, then the transposed elimination ops in reverse.
+func (f *luFactor) solveBackward(p, out []float64) {
+	for ei := len(f.etas) - 1; ei >= 0; ei-- {
+		e := &f.etas[ei]
+		s := p[e.r]
+		for _, nz := range e.nz {
+			s -= nz.val * p[nz.row]
+		}
+		p[e.r] = s / e.piv
+	}
+	z := f.zwork
+	for k := 0; k < f.m; k++ {
+		z[k] = p[f.permPos[k]]
+	}
+	for k := 0; k < f.m; k++ {
+		t := z[k] / f.ud[k]
+		z[k] = t
+		if t != 0 {
+			for _, e := range f.ur[k] {
+				z[e.k] -= e.val * t
+			}
+		}
+	}
+	for k := 0; k < f.m; k++ {
+		out[f.permRow[k]] = z[k]
+	}
+	for li := len(f.lops) - 1; li >= 0; li-- {
+		op := &f.lops[li]
+		s := out[op.prow]
+		for _, nz := range op.nz {
+			s -= nz.val * out[nz.row]
+		}
+		out[op.prow] = s
+	}
+}
+
+func (f *luFactor) btran(x, out []float64) {
+	copy(f.xwork, x)
+	f.solveBackward(f.xwork, out)
+}
+
+func (f *luFactor) btranUnit(r int, out []float64) {
+	p := f.xwork
+	for i := range p {
+		p[i] = 0
+	}
+	p[r] = 1
+	f.solveBackward(p, out)
+}
+
+func (f *luFactor) update(r int, w []float64) {
+	piv := w[r]
+	maxAbs := math.Abs(piv)
+	nz := make([]entry, 0, 8)
+	for i, v := range w {
+		if i == r {
+			continue
+		}
+		a := math.Abs(v)
+		if a <= etaDropTol {
+			continue
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+		nz = append(nz, entry{row: i, val: v})
+	}
+	f.etas = append(f.etas, eta{r: int32(r), piv: piv, nz: nz})
+	f.etaNnz += len(nz) + 1
+	if math.Abs(piv) < etaDriftTol*maxAbs {
+		f.drift = true // ill-conditioned update: refactor before next pivot
+	}
+}
+
+// clone deep-snapshots the representation. The factorization slices are
+// immutable after refactorize/reset (both allocate fresh arrays), so they
+// are shared; the eta file gets a fresh backing array because the live
+// solver keeps appending to its own, and the inner eta/op slices are
+// write-once. Scratch buffers are never shared.
+func (f *luFactor) clone() factor {
+	return &luFactor{
+		m:       f.m,
+		lops:    f.lops,
+		ur:      f.ur,
+		ud:      f.ud,
+		permRow: f.permRow,
+		permPos: f.permPos,
+		etas:    append([]eta(nil), f.etas...),
+		etaNnz:  f.etaNnz,
+		baseNnz: f.baseNnz,
+		drift:   f.drift,
+		xwork:   make([]float64, f.m),
+		zwork:   make([]float64, f.m),
+	}
+}

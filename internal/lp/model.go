@@ -309,6 +309,12 @@ type Options struct {
 	// singular at refactorization, or is primal infeasible for the current
 	// data is ignored and the solve falls back to a cold start.
 	WarmBasis *Basis
+	// DenseKernel selects the original dense-inverse basis kernel instead
+	// of the default sparse LU factorization. The dense kernel is retained
+	// as a slow-but-simple reference implementation for differential
+	// testing and benchmarking; production call sites should leave this
+	// false.
+	DenseKernel bool
 }
 
 // withDefaults normalizes the options against a standardized problem of n

@@ -198,33 +198,37 @@ type result struct {
 	basis  *Basis // terminal basis (Optimal and Infeasible outcomes)
 }
 
-// state is the revised-simplex working state.
+// state is the revised-simplex working state. The basis representation
+// lives behind the factor kernel (sparse LU by default, dense inverse as
+// the Options.DenseKernel reference); the state owns the bookkeeping
+// arrays and scratch vectors the pivot loops share.
 type state struct {
-	std           *standard
-	binv          [][]float64 // dense basis inverse, m x m
-	basis         []int       // basic column per row
-	basePos       []int       // column -> basis row + 1, or 0 if nonbasic
-	atUpper       []bool      // nonbasic-at-upper flag per column
-	xB            []float64   // basic variable values
-	wBuf          []float64   // scratch: Binv * A_q, reused every pivot
-	yBuf          []float64   // scratch: duals, reused across refactors
-	cand          []int       // partial-pricing candidate list
-	cursor        int         // partial-pricing scan position
-	tol           float64
-	iters         int
-	maxIter       int
+	std     *standard
+	fac     factor    // basis representation: B⁻¹ as FTRAN/BTRAN/update
+	basis   []int     // basic column per row
+	basePos []int     // column -> basis row + 1, or 0 if nonbasic
+	atUpper []bool    // nonbasic-at-upper flag per column
+	xB      []float64 // basic variable values
+	wBuf    []float64 // scratch: B⁻¹·A_q, reused every pivot
+	yBuf    []float64 // scratch: duals, reused across refactors
+	rhoBuf  []float64 // scratch: a row of B⁻¹ (dual updates, ratio tests)
+	cbBuf   []float64 // scratch: basic costs / right-hand sides
+	cand    []int     // partial-pricing candidate list
+	cursor  int       // partial-pricing scan position
+	tol     float64
+	iters   int
+	maxIter int
 	refactorEvery int
-	sinceFactor   int // product-form pivots since binv was last refactorized
 	// deadline is the wall-clock cutoff from Options.TimeBudget (zero
-	// value = unlimited), checked between pivots.
+	// value = unlimited), checked between pivots and inside
+	// refactorizations.
 	deadline time.Time
 }
 
 // timedOut reports whether the wall-clock budget has expired. The check
-// runs once per pivot; a pivot costs O(m²) on the dense inverse, so the
-// time.Now call is noise even on small models.
+// runs once per pivot, so the time.Now call is noise even on small models.
 func (st *state) timedOut() bool {
-	return !st.deadline.IsZero() && !time.Now().Before(st.deadline)
+	return expired(st.deadline)
 }
 
 const defaultRefactorEvery = 512
@@ -236,12 +240,15 @@ func (std *standard) solve(opts Options) result {
 	m := std.m
 	st := &state{
 		std:           std,
+		fac:           newFactor(opts.DenseKernel),
 		basis:         make([]int, m),
 		basePos:       make([]int, std.n),
 		atUpper:       make([]bool, std.n),
 		xB:            make([]float64, m),
 		wBuf:          make([]float64, m),
 		yBuf:          make([]float64, m),
+		rhoBuf:        make([]float64, m),
+		cbBuf:         make([]float64, m),
 		tol:           opts.Tol,
 		maxIter:       opts.MaxIters,
 		refactorEvery: opts.RefactorEvery,
@@ -249,7 +256,7 @@ func (std *standard) solve(opts Options) result {
 	if opts.TimeBudget > 0 {
 		st.deadline = time.Now().Add(opts.TimeBudget)
 	}
-	st.binv = identity(m)
+	st.fac.reset(m)
 
 	warm := false
 	if opts.WarmBasis.matches(std) {
@@ -258,9 +265,9 @@ func (std *standard) solve(opts Options) result {
 			warm = true
 		case warmRepair:
 			// Any RHS change typically knocks the old basis primal
-			// infeasible (xB = Binv·b sees every perturbation through the
-			// dense inverse) while leaving it dual feasible (reduced costs
-			// do not depend on b). A short dual-simplex cleanup restores
+			// infeasible (xB = B⁻¹b sees every perturbation through the
+			// inverse) while leaving it dual feasible (reduced costs do
+			// not depend on b). A short dual-simplex cleanup restores
 			// primal feasibility in a few pivots; if it cannot, the solve
 			// falls back cold below.
 			warm = st.dualCleanup()
@@ -277,8 +284,9 @@ func (std *standard) solve(opts Options) result {
 			}
 		}
 	} else {
-		// Cold start from the slack/artificial basis. A failed warm
-		// install leaves the state dirty, so reset everything.
+		// Cold start from the slack/artificial basis (which is exactly the
+		// identity matrix). A failed warm install leaves the state dirty,
+		// so reset everything.
 		copy(st.basis, std.basisInit)
 		for j := range st.basePos {
 			st.basePos[j] = 0
@@ -286,13 +294,7 @@ func (std *standard) solve(opts Options) result {
 		for j := range st.atUpper {
 			st.atUpper[j] = false
 		}
-		for i := range st.binv {
-			row := st.binv[i]
-			for k := range row {
-				row[k] = 0
-			}
-			row[i] = 1
-		}
+		st.fac.reset(m)
 		copy(st.xB, std.b)
 		for i, j := range st.basis {
 			st.basePos[j] = i + 1
@@ -353,33 +355,21 @@ func (std *standard) solve(opts Options) result {
 	return res
 }
 
-func identity(m int) [][]float64 {
-	b := make([][]float64, m)
-	for i := range b {
-		b[i] = make([]float64, m)
-		b[i][i] = 1
+// duals computes y = c_B·B⁻¹ via BTRAN into the reusable scratch buffer.
+func (st *state) duals(costs []float64) []float64 {
+	for i, j := range st.basis {
+		st.cbBuf[i] = costs[j]
 	}
-	return b
+	st.fac.btran(st.cbBuf, st.yBuf)
+	return st.yBuf
 }
 
-// duals computes y = c_B * Binv into the reusable scratch buffer.
-func (st *state) duals(costs []float64) []float64 {
-	m := st.std.m
-	y := st.yBuf
-	for k := range y {
-		y[k] = 0
-	}
-	for i, j := range st.basis {
-		cb := costs[j]
-		if cb == 0 {
-			continue
-		}
-		row := st.binv[i]
-		for k := 0; k < m; k++ {
-			y[k] += cb * row[k]
-		}
-	}
-	return y
+// rowOfInverse computes row r of B⁻¹ (eᵣᵀB⁻¹) into the rho scratch buffer
+// (valid until the next rowOfInverse call; wBuf is independent, so a
+// tableau column and a rho row can coexist).
+func (st *state) rowOfInverse(r int) []float64 {
+	st.fac.btranUnit(r, st.rhoBuf)
+	return st.rhoBuf
 }
 
 // expelArtificials pivots basic artificials (all at value ~0 after a
@@ -394,78 +384,39 @@ func (st *state) expelArtificials() {
 			continue
 		}
 		// Find a nonbasic-at-lower, non-artificial column with a usable
-		// pivot in row i of the tableau: alpha = (Binv row i) . A_col.
+		// pivot in row i of the tableau: alpha = (B⁻¹ row i) · A_col.
 		// Columns resting at their upper bound are skipped because the
 		// entering variable keeps the leaving artificial's zero value.
-		brow := st.binv[i]
+		rho := st.rowOfInverse(i)
 		for col := 0; col < std.n; col++ {
 			if std.art[col] || st.basePos[col] != 0 || st.atUpper[col] {
 				continue
 			}
 			alpha := 0.0
 			for _, e := range std.cols[col] {
-				alpha += brow[e.row] * e.val
+				alpha += rho[e.row] * e.val
 			}
 			if math.Abs(alpha) < 1e-7 {
 				continue
 			}
-			w := st.colTimesBinv(col)
-			st.updateBasis(col, i, w)
+			w := st.ftranCol(col)
+			st.applyPivot(col, i, w)
 			break
 		}
 	}
 }
 
-// colTimesBinv returns w = Binv * A_q in the reusable scratch buffer
-// (valid until the next call; every pivot consumes it immediately).
-func (st *state) colTimesBinv(q int) []float64 {
-	m := st.std.m
-	w := st.wBuf
-	for i := range w {
-		w[i] = 0
-	}
-	for _, e := range st.std.cols[q] {
-		v := e.val
-		for i := 0; i < m; i++ {
-			w[i] += st.binv[i][e.row] * v
-		}
-	}
-	return w
+// ftranCol returns w = B⁻¹·A_q in the reusable scratch buffer (valid until
+// the next call; every pivot consumes it immediately).
+func (st *state) ftranCol(q int) []float64 {
+	st.fac.ftranCol(st.std.cols[q], st.wBuf)
+	return st.wBuf
 }
 
-// updateBasis performs the product-form update of Binv for entering column
-// q at row r with tableau column w, and fixes the bookkeeping arrays.
-func (st *state) updateBasis(q, r int, w []float64) {
-	m := st.std.m
-	piv := w[r]
-	br := st.binv[r][:m]
-	inv := 1 / piv
-	for k := range br {
-		br[k] *= inv
-	}
-	for i := 0; i < m; i++ {
-		if i == r {
-			continue
-		}
-		f := w[i]
-		if f == 0 {
-			continue
-		}
-		// axpy: binv[i] -= f * br. Unrolled 4-wide; this is the single
-		// hottest loop in the repository (every pivot touches m rows of
-		// the dense inverse).
-		bi := st.binv[i][:m]
-		k := 0
-		for ; k+4 <= m; k += 4 {
-			bi[k] -= f * br[k]
-			bi[k+1] -= f * br[k+1]
-			bi[k+2] -= f * br[k+2]
-			bi[k+3] -= f * br[k+3]
-		}
-		for ; k < m; k++ {
-			bi[k] -= f * br[k]
-		}
-	}
+// applyPivot performs the product-form basis update for entering column q
+// at row r with tableau column w, and fixes the bookkeeping arrays.
+func (st *state) applyPivot(q, r int, w []float64) {
+	st.fac.update(r, w)
 	leaving := st.basis[r]
 	st.basePos[leaving] = 0
 	st.basis[r] = q
@@ -473,66 +424,22 @@ func (st *state) updateBasis(q, r int, w []float64) {
 	st.atUpper[q] = false
 }
 
-// refactor rebuilds Binv from the basis columns by Gauss-Jordan
-// elimination with partial pivoting, then recomputes xB. It returns false
-// when the basis matrix is numerically singular.
-func (st *state) refactor() bool {
-	std := st.std
-	m := std.m
-	// Dense B.
-	a := make([][]float64, m)
-	for i := range a {
-		a[i] = make([]float64, 2*m)
-		a[i][m+i] = 1
+// refactor rebuilds the basis representation from the basis columns, then
+// recomputes xB. Refactorization outcomes other than refactorOK leave xB
+// stale; callers must abort the pivot loop.
+func (st *state) refactor() refactorOutcome {
+	out := st.fac.refactorize(st.std, st.basis, st.deadline)
+	if out == refactorOK {
+		st.recomputeXB()
 	}
-	for pos, j := range st.basis {
-		for _, e := range std.cols[j] {
-			a[e.row][pos] = e.val
-		}
-	}
-	for col := 0; col < m; col++ {
-		// Partial pivot.
-		p := col
-		best := math.Abs(a[col][col])
-		for i := col + 1; i < m; i++ {
-			if v := math.Abs(a[i][col]); v > best {
-				best, p = v, i
-			}
-		}
-		if best < 1e-12 {
-			return false
-		}
-		a[col], a[p] = a[p], a[col]
-		inv := 1 / a[col][col]
-		for k := col; k < 2*m; k++ {
-			a[col][k] *= inv
-		}
-		for i := 0; i < m; i++ {
-			if i == col {
-				continue
-			}
-			f := a[i][col]
-			if f == 0 {
-				continue
-			}
-			for k := col; k < 2*m; k++ {
-				a[i][k] -= f * a[col][k]
-			}
-		}
-	}
-	for i := 0; i < m; i++ {
-		copy(st.binv[i], a[i][m:])
-	}
-	st.sinceFactor = 0
-	st.recomputeXB()
-	return true
+	return out
 }
 
-// recomputeXB sets xB = Binv * (b - sum of nonbasic-at-upper columns).
+// recomputeXB sets xB = B⁻¹·(b - sum of nonbasic-at-upper columns).
 func (st *state) recomputeXB() {
 	std := st.std
-	m := std.m
-	rhs := append([]float64(nil), std.b...)
+	rhs := st.cbBuf
+	copy(rhs, std.b)
 	for j := 0; j < std.n; j++ {
 		if !st.atUpper[j] || st.basePos[j] != 0 {
 			continue
@@ -542,14 +449,7 @@ func (st *state) recomputeXB() {
 			rhs[e.row] -= e.val * u
 		}
 	}
-	for i := 0; i < m; i++ {
-		v := 0.0
-		row := st.binv[i]
-		for k := 0; k < m; k++ {
-			v += row[k] * rhs[k]
-		}
-		st.xB[i] = v
-	}
+	st.fac.ftranDense(rhs, st.xB)
 }
 
 // reducedCost computes the reduced cost of column j under duals y.
@@ -644,9 +544,9 @@ func (st *state) pricePartial(costs, y []float64, skipArt bool) (q int, fromUppe
 }
 
 // partialPricingMinCols gates candidate-list pricing: below this column
-// count a full Dantzig scan is cheap relative to the O(m²) basis update,
-// and its better entering choices (fewest pivots) win; above it the
-// per-iteration pricing cost dominates and partial pricing pays.
+// count a full Dantzig scan is cheap relative to the basis update, and its
+// better entering choices (fewest pivots) win; above it the per-iteration
+// pricing cost dominates and partial pricing pays.
 const partialPricingMinCols = 512
 
 // priceDantzig is the classic full scan: the most violated column enters.
@@ -683,6 +583,12 @@ func (st *state) priceBland(costs, y []float64, skipArt bool) (q int, fromUpper 
 	return -1, false, 0
 }
 
+// needsRefactor reports that the periodic cadence or the kernel's own
+// growth/drift policy asks for a refactorization before the next pivot.
+func (st *state) needsRefactor() bool {
+	return st.fac.age() >= st.refactorEvery || st.fac.wantRefactor()
+}
+
 // dualCleanup restores primal feasibility of a warm-installed basis with
 // the bounded-variable dual simplex. It requires the basis to be dual
 // feasible under the phase-2 costs (which RHS-only perturbations preserve);
@@ -703,7 +609,7 @@ func (st *state) dualCleanup() bool {
 	// Dual feasibility check: no nonbasic, non-artificial column may have a
 	// phase-2 pricing violation. (Artificials never enter, so their reduced
 	// costs are irrelevant.) dualTol is looser than the pricing tolerance
-	// because the freshly refactorized inverse reproduces the captured
+	// because the freshly refactorized basis reproduces the captured
 	// optimum's duals only up to roundoff.
 	y := st.duals(std.c)
 	for j := 0; j < std.n; j++ {
@@ -725,8 +631,8 @@ func (st *state) dualCleanup() bool {
 		if iter >= limit || st.iters >= st.maxIter || st.timedOut() {
 			return false
 		}
-		if st.sinceFactor >= st.refactorEvery {
-			if !st.refactor() {
+		if st.needsRefactor() {
+			if st.refactor() != refactorOK {
 				return false
 			}
 			y = st.duals(std.c)
@@ -758,7 +664,7 @@ func (st *state) dualCleanup() bool {
 		// smallest |d|/|alpha| keeps every reduced cost on its feasible
 		// side after the dual update. Lowest index wins ties, keeping the
 		// cleanup deterministic.
-		rho := st.binv[r]
+		rho := st.rowOfInverse(r)
 		q, best := -1, math.Inf(1)
 		for j := 0; j < std.n; j++ {
 			if st.basePos[j] != 0 || std.art[j] {
@@ -788,7 +694,7 @@ func (st *state) dualCleanup() bool {
 			return false // dual unbounded up to tolerance: let phase 1 decide
 		}
 
-		w := st.colTimesBinv(q)
+		w := st.ftranCol(q)
 		if math.Abs(w[r]) < pivTol {
 			return false // numerically unusable pivot
 		}
@@ -815,13 +721,12 @@ func (st *state) dualCleanup() bool {
 			enterVal = std.up[q] - t
 		}
 		leavingCol := st.basis[r]
-		st.updateBasis(q, r, w)
+		st.applyPivot(q, r, w)
 		st.xB[r] = enterVal
 		// The leaving variable rests at the bound it was pushed to; an
 		// artificial's "upper" bound is its lower bound, zero.
 		st.atUpper[leavingCol] = !below && !std.art[leavingCol]
 		st.iters++
-		st.sinceFactor++
 		y = st.duals(std.c)
 	}
 }
@@ -845,11 +750,15 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 		if st.timedOut() {
 			return TimeLimit
 		}
-		if st.sinceFactor >= st.refactorEvery {
-			if !st.refactor() {
-				return IterLimit
+		if st.needsRefactor() {
+			switch st.refactor() {
+			case refactorOK:
+				y = st.duals(costs)
+			case refactorTimeout:
+				return TimeLimit
+			default:
+				return IterLimit // singular mid-solve: give up cleanly
 			}
-			y = st.duals(costs)
 		}
 
 		// Pricing: Dantzig on narrow LPs, candidate-list partial pricing on
@@ -875,7 +784,7 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 		if qFromUpper {
 			sigma = -1
 		}
-		w := st.colTimesBinv(q)
+		w := st.ftranCol(q)
 
 		// Ratio test. Basic i changes at rate -sigma*w[i] per unit t.
 		tMax := std.up[q] // bound-flip limit (up - lo, lo = 0)
@@ -911,7 +820,6 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 			return Unbounded
 		}
 		st.iters++
-		st.sinceFactor++
 		if tMax <= st.tol {
 			stall++
 		} else {
@@ -935,15 +843,16 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 		for i := 0; i < m; i++ {
 			st.xB[i] -= tMax * sigma * w[i]
 		}
-		// Dual update before the inverse changes: y += (d_q/w_r) * ρ_r
-		// with ρ_r the leaving row of the *old* inverse.
+		// Dual update before the representation changes: y += (d_q/w_r)·ρ_r
+		// with ρ_r the leaving row of the *old* inverse (one BTRAN on the
+		// sparse kernel, a row read on the dense one).
 		theta := qD / w[leave]
-		rho := st.binv[leave]
+		rho := st.rowOfInverse(leave)
 		for k := 0; k < m; k++ {
 			y[k] += theta * rho[k]
 		}
 		leavingCol := st.basis[leave]
-		st.updateBasis(q, leave, w)
+		st.applyPivot(q, leave, w)
 		st.xB[leave] = enterVal
 		st.atUpper[leavingCol] = leaveToUpper
 		// Clamp tiny negative residue from roundoff.

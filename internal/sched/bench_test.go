@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pretium/internal/cost"
+	"pretium/internal/graph"
+	"pretium/internal/lp"
+)
+
+// benchScale sizes a synthetic SAM instance. The three scales roughly track
+// the experiment harness's Small/Default(Medium)/Paper setups: a small WAN
+// with a short horizon, a mid WAN with a day-at-coarse-resolution horizon,
+// and a larger WAN with a longer horizon.
+type benchScale struct {
+	name     string
+	regions  int
+	perReg   int
+	horizon  int
+	nDemands int
+}
+
+var benchScales = []benchScale{
+	{name: "Small", regions: 2, perReg: 3, horizon: 12, nDemands: 12},
+	{name: "Medium", regions: 3, perReg: 4, horizon: 36, nDemands: 28},
+	{name: "Large", regions: 4, perReg: 4, horizon: 48, nDemands: 36},
+}
+
+// benchInstance builds a deterministic SAM-shaped scheduling instance:
+// randomized inter-region demands with k-shortest-path route sets over a
+// generated WAN, plus percentile cost-proxy rows — the LP shape the SAM
+// re-solves every timestep.
+func benchInstance(sc benchScale, seed int64) *Instance {
+	cfg := graph.DefaultWANConfig()
+	cfg.Regions = sc.regions
+	cfg.NodesPerRegion = sc.perReg
+	cfg.Seed = seed
+	net := graph.GenerateWAN(cfg)
+
+	r := rand.New(rand.NewSource(seed + 1))
+	nn := net.NumNodes()
+	demands := make([]Demand, 0, sc.nDemands)
+	for len(demands) < sc.nDemands {
+		src := graph.NodeID(r.Intn(nn))
+		dst := graph.NodeID(r.Intn(nn))
+		if src == dst {
+			continue
+		}
+		routes := net.KShortestPaths(src, dst, 2)
+		if len(routes) == 0 {
+			continue
+		}
+		start := r.Intn(sc.horizon / 2)
+		end := start + 2 + r.Intn(sc.horizon-start-2)
+		d := Demand{
+			ID:           len(demands),
+			Routes:       routes,
+			Start:        start,
+			End:          end,
+			MaxBytes:     (20 + r.Float64()*120) * float64(sc.horizon) / 12,
+			ValuePerByte: 0.5 + r.Float64()*2.5,
+		}
+		if r.Float64() < 0.3 {
+			d.MinBytes = d.MaxBytes * 0.2
+		}
+		demands = append(demands, d)
+	}
+
+	capm := make([][]float64, net.NumEdges())
+	for _, e := range net.Edges() {
+		capm[e.ID] = make([]float64, sc.horizon)
+		for t := range capm[e.ID] {
+			capm[e.ID][t] = e.Capacity * 0.8
+		}
+	}
+	return &Instance{
+		Net:          net,
+		Horizon:      sc.horizon,
+		Capacity:     capm,
+		Demands:      demands,
+		Cost:         cost.DefaultConfig(sc.horizon),
+		UseCostProxy: true,
+	}
+}
+
+// BenchmarkSAMSolve measures Instance.Solve (model build + LP solve, the
+// per-timestep SAM cost) across scales on both basis kernels. The sparse
+// sub-benchmarks are the production path; the dense ones are the reference
+// kernel the sparse LU replaced, kept for before/after tracking in
+// BENCH_solver.json.
+func BenchmarkSAMSolve(b *testing.B) {
+	for _, sc := range benchScales {
+		ins := benchInstance(sc, 42)
+		for _, kernel := range []struct {
+			name  string
+			dense bool
+		}{{"sparse", false}, {"dense", true}} {
+			if kernel.dense && sc.name == "Large" {
+				// The dense reference kernel needs minutes per solve at
+				// Large scale (it cannot finish inside a 60s budget); the
+				// sparse numbers alone tell the story there.
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/%s", sc.name, kernel.name), func(b *testing.B) {
+				iters := 0
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := ins.Solve(lp.Options{DenseKernel: kernel.dense})
+					if err != nil {
+						b.Fatalf("Solve: %v", err)
+					}
+					if res.Status != lp.Optimal {
+						b.Fatalf("status %v", res.Status)
+					}
+					iters = res.Iterations
+				}
+				b.ReportMetric(float64(iters), "pivots")
+			})
+		}
+	}
+}
+
+// BenchmarkSAMResolveWarm measures the warm-started re-solve path: the
+// steady-state SAM loop cost, where each timestep's LP starts from the
+// previous optimal basis.
+func BenchmarkSAMResolveWarm(b *testing.B) {
+	for _, sc := range benchScales[:2] { // Small, Medium
+		for _, kernel := range []struct {
+			name  string
+			dense bool
+		}{{"sparse", false}, {"dense", true}} {
+			b.Run(fmt.Sprintf("%s/%s", sc.name, kernel.name), func(b *testing.B) {
+				ins := benchInstance(sc, 42)
+				built, err := ins.Build()
+				if err != nil {
+					b.Fatalf("Build: %v", err)
+				}
+				cold, err := built.Solve(lp.Options{DenseKernel: kernel.dense})
+				if err != nil || cold.Status != lp.Optimal {
+					b.Fatalf("cold solve: %v %v", err, cold.Status)
+				}
+				basis := cold.Basis
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := built.Solve(lp.Options{DenseKernel: kernel.dense, WarmBasis: basis})
+					if err != nil {
+						b.Fatalf("warm solve: %v", err)
+					}
+					if res.Status != lp.Optimal {
+						b.Fatalf("warm status %v", res.Status)
+					}
+					basis = res.Basis
+				}
+			})
+		}
+	}
+}
