@@ -19,10 +19,13 @@ check:
 # micro-benchmarks with a machine-readable report in BENCH_admission.json
 # (regression gate for the quote-engine fast path), then the SAM solver
 # benchmarks (sparse LU vs dense reference kernel) into BENCH_solver.json
-# (the perf trajectory of the simplex core across PRs).
+# (the perf trajectory of the simplex core across PRs), and finally a
+# small instrumented run whose metrics snapshot (BENCH_metrics.json)
+# tracks the control loop's operational counters across PRs.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 	$(GO) test -run '^$$' -bench 'QuoteMenu|Admit' -benchmem ./internal/pricing | \
 		$(GO) run ./cmd/benchjson -out BENCH_admission.json
 	$(GO) test -run '^$$' -bench 'SAMSolve|SAMResolveWarm' -benchmem ./internal/sched | \
 		$(GO) run ./cmd/benchjson -out BENCH_solver.json
+	$(GO) run ./cmd/experiments -exp table4 -scale small -metrics BENCH_metrics.json

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"pretium/internal/exp"
+	"pretium/internal/obs"
 )
 
 // runCtx carries one experiment invocation's output sink, so concurrent
@@ -171,15 +172,44 @@ func (rc *runCtx) printRows(title string, rows []exp.Row) {
 
 func main() {
 	var (
-		name  = flag.String("exp", "", "experiment to run (see -list), or 'all'")
-		scale = flag.String("scale", "default", "experiment scale: small or default")
-		seed  = flag.Int64("seed", 1, "experiment seed")
-		list  = flag.Bool("list", false, "list experiments")
-		plot  = flag.Bool("plot", false, "render ASCII bar charts under each table")
+		name       = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		scale      = flag.String("scale", "default", "experiment scale: small or default")
+		seed       = flag.Int64("seed", 1, "experiment seed")
+		list       = flag.Bool("list", false, "list experiments")
+		plot       = flag.Bool("plot", false, "render ASCII bar charts under each table")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
+		tracePath  = flag.String("trace", "", "write the Pretium controllers' JSONL event trace to this file (run one experiment for a deterministic stream)")
+		metricsOut = flag.String("metrics", "", "write a JSON metrics snapshot (counters/gauges/histograms) to this file on exit")
 	)
 	flag.Parse()
+
+	if *tracePath != "" || *metricsOut != "" {
+		var tw io.Writer
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			tw = f
+		}
+		exp.Observe = obs.NewRecorder(tw)
+		if *metricsOut != "" {
+			defer func() {
+				f, err := os.Create(*metricsOut)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+					return
+				}
+				defer f.Close()
+				if err := exp.Observe.Metrics().WriteJSON(f); err != nil {
+					fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+				}
+			}()
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

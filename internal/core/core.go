@@ -21,6 +21,7 @@ import (
 	"pretium/internal/cost"
 	"pretium/internal/graph"
 	"pretium/internal/lp"
+	"pretium/internal/obs"
 	"pretium/internal/pricing"
 	"pretium/internal/sched"
 	"pretium/internal/sim"
@@ -94,6 +95,18 @@ type Config struct {
 	// outages, price corruption, and capacity flaps at exact steps and
 	// assert the controller's degradation ladder handles each one.
 	Chaos chaos.Injector
+	// Obs, when non-nil, receives the controller's metrics (admissions,
+	// ladder levels, solver telemetry, price duals) and its structured
+	// event trace. Nil disables observability at ~zero cost. A controller
+	// must own its recorder exclusively for the event stream to be
+	// deterministic (see obs.Recorder).
+	Obs *obs.Recorder
+	// ColdStart disables cross-solve warm-basis reuse: every SAM and PC
+	// solve starts from scratch instead of the previous terminal basis.
+	// It exists for the golden-trace suite, which proves the event stream
+	// is byte-identical with and without warm starts; production runs
+	// leave it false.
+	ColdStart bool
 }
 
 // Fault is one injected capacity loss: edge capacity is multiplied by
@@ -151,16 +164,16 @@ func (a *admState) guaranteeLeft() float64 {
 
 // Controller runs Pretium over a request stream.
 type Controller struct {
-	cfg     Config
-	net     *graph.Network
-	state   *pricing.State
+	cfg   Config
+	net   *graph.Network
+	state *pricing.State
 	// admitter is the RA serving front-end: it owns the quoting scratch
 	// reused across every admission-path quote the controller makes.
 	admitter *pricing.Admitter
 	reqs     []*traffic.Request
-	active  []*admState
-	outcome *sim.Outcome
-	history []pricing.HistoryEntry
+	active   []*admState
+	outcome  *sim.Outcome
+	history  []pricing.HistoryEntry
 	// PriceTrace[e][t] records the base price in effect at step t
 	// (Figure 7a plots this against utilization).
 	PriceTrace [][]float64
@@ -184,6 +197,12 @@ type Controller struct {
 	// solver, so carrying them is always safe.
 	samBasis *lp.Basis
 	pcBasis  *lp.Basis
+	// obs holds pre-resolved metric handles (nil when Config.Obs is);
+	// samStats/pcStats accumulate per-module solver telemetry via the
+	// lp.Options.Stats hook and publish to obs at finalize.
+	obs      *coreObs
+	samStats lp.SolveStats
+	pcStats  lp.SolveStats
 }
 
 // New creates a controller for the request stream. Requests must be
@@ -248,6 +267,8 @@ func New(net *graph.Network, reqs []*traffic.Request, cfg Config) (*Controller, 
 	for e := range c.PriceTrace {
 		c.PriceTrace[e] = make([]float64, cfg.Horizon)
 	}
+	c.obs = newCoreObs(cfg.Obs)
+	c.admitter.SetObs(cfg.Obs.Metrics())
 	// Physical capacity available to scheduled traffic, faults included
 	// (what `realize` clamps against, known or not). When actual
 	// high-pri usage is given it drains physical capacity directly;
@@ -364,28 +385,40 @@ func (c *Controller) admit(r *traffic.Request) {
 		}
 	}
 	var adm *pricing.Admission
+	var menu *pricing.Menu
 	switch {
 	case c.cfg.Purchase != nil:
-		menu := c.admitter.Quote(r, maxBuy)
+		menu = c.admitter.Quote(r, maxBuy)
 		bought := c.cfg.Purchase(menu, r)
 		if bought > maxBuy {
 			bought = maxBuy
 		}
 		adm = pricing.Commit(c.state, r, menu, bought)
 	case c.cfg.EnableMenu:
-		menu := c.admitter.Quote(r, maxBuy)
+		menu = c.admitter.Quote(r, maxBuy)
 		adm = pricing.Commit(c.state, r, menu, menu.Purchase(r.Value, maxBuy))
 	default:
 		// NoMenu ablation: all-or-nothing — take the full demand iff it
 		// is fully guaranteeable and worth it in aggregate.
-		menu := c.admitter.Quote(r, r.Demand)
+		menu = c.admitter.Quote(r, r.Demand)
 		if menu.Cap() >= r.Demand-1e-9 && menu.Price(r.Demand) <= r.Value*r.Demand {
 			adm = pricing.Commit(c.state, r, menu, r.Demand)
 		}
 	}
+	bumps := 0
+	if c.cfg.Obs != nil {
+		bumps = c.priceBumps(r, menu)
+	}
 	if adm == nil {
+		c.obs.admission(false, bumps)
+		c.cfg.Obs.Emit(r.Arrival, "RA", "decline",
+			obs.I("req", c.reqIndex(r)), obs.I("menu", len(menu.Segments)), obs.I("bumps", bumps))
 		return
 	}
+	c.obs.admission(true, bumps)
+	c.cfg.Obs.Emit(r.Arrival, "RA", "admit",
+		obs.I("req", c.reqIndex(r)), obs.I("menu", len(menu.Segments)), obs.I("bumps", bumps),
+		obs.F("bought", adm.Bought), obs.F("lambda", adm.Lambda))
 	idx := c.reqIndex(r)
 	c.Admitted[idx] = true
 	c.AdmissionPrice[idx] = adm.Lambda
@@ -397,6 +430,27 @@ func (c *Controller) admit(r *traffic.Request) {
 		Routes: r.Routes, Start: r.Start, End: r.End,
 		Bytes: adm.Bought, Lambda: adm.Lambda,
 	})
+}
+
+// priceBumps counts menu segments quoted strictly above the base price of
+// their route at their timestep — i.e. segments where the short-term
+// price-adjustment premium (§4.2's defense of guarantees under load) was
+// active. A menu with zero bumps was quoted entirely at base prices.
+func (c *Controller) priceBumps(r *traffic.Request, menu *pricing.Menu) int {
+	if menu == nil {
+		return 0
+	}
+	n := 0
+	for _, seg := range menu.Segments {
+		base := 0.0
+		for _, e := range r.Routes[seg.RouteIdx] {
+			base += c.state.BasePrice[e][seg.Time]
+		}
+		if seg.Price > base+1e-12 {
+			n++
+		}
+	}
+	return n
 }
 
 // admitRate expands a rate request into per-timestep quotes (§4.4): each
@@ -422,6 +476,9 @@ func (c *Controller) admitRate(r *traffic.Request) {
 		quotes = append(quotes, stepQuote{t: t, menu: menu})
 	}
 	if feasibleRate <= 1e-9 || len(quotes) == 0 {
+		c.obs.admission(false, 0)
+		c.cfg.Obs.Emit(r.Arrival, "RA", "decline",
+			obs.I("req", c.reqIndex(r)), obs.S("kind", "rate"), obs.I("steps", len(quotes)))
 		return
 	}
 	for _, q := range quotes {
@@ -429,6 +486,9 @@ func (c *Controller) admitRate(r *traffic.Request) {
 	}
 	bytes := feasibleRate * float64(len(quotes))
 	if total > r.Value*bytes {
+		c.obs.admission(false, 0)
+		c.cfg.Obs.Emit(r.Arrival, "RA", "decline",
+			obs.I("req", c.reqIndex(r)), obs.S("kind", "rate"), obs.I("steps", len(quotes)))
 		return // bundle not worth it
 	}
 	idx := c.reqIndex(r)
@@ -459,6 +519,9 @@ func (c *Controller) admitRate(r *traffic.Request) {
 		c.Admitted[idx] = true
 		c.AdmissionPrice[idx] = total / bytes
 	}
+	c.obs.admission(committed > 0, 0)
+	c.cfg.Obs.Emit(r.Arrival, "RA", "admit_rate",
+		obs.I("req", idx), obs.I("committed", committed), obs.F("rate", feasibleRate))
 }
 
 // admitScavenger enrolls a best-effort request (§4.4): no quote, no
@@ -482,6 +545,9 @@ func (c *Controller) admitScavenger(r *traffic.Request) {
 		Routes: r.Routes, Start: r.Start, End: r.End,
 		Bytes: r.Demand, Lambda: r.Value,
 	})
+	c.obs.admission(true, 0)
+	c.cfg.Obs.Emit(r.Arrival, "RA", "admit",
+		obs.I("req", idx), obs.S("kind", "scavenger"), obs.F("bought", r.Demand))
 }
 
 func (c *Controller) reqIndex(r *traffic.Request) int {
@@ -560,11 +626,26 @@ func (c *Controller) runSAM(t int) {
 	if res == nil {
 		// Even the LP-free fallback could not run: carry the previous
 		// forward plan unchanged. Reservations in state still reflect it.
-		c.Health.record(t, ModuleSAM, LevelCarry, reason)
+		c.degrade(t, ModuleSAM, LevelCarry, reason)
+		c.obs.samSolve(LevelCarry, 0)
 		return
 	}
 	if lvl > LevelOK {
-		c.Health.record(t, ModuleSAM, lvl, reason)
+		c.degrade(t, ModuleSAM, lvl, reason)
+	}
+	if c.cfg.Obs != nil {
+		scheduled := 0.0
+		for _, al := range res.Allocs {
+			scheduled += al.Bytes
+		}
+		guaranteed := 0.0
+		for _, d := range demands {
+			guaranteed += d.MinBytes
+		}
+		c.obs.samSolve(lvl, scheduled)
+		c.cfg.Obs.Emit(t, ModuleSAM, "solve",
+			obs.I("live", len(live)), obs.S("level", lvl.String()),
+			obs.F("scheduled", scheduled), obs.F("guaranteed", guaranteed))
 	}
 	// Replace forward plans and reservations with the new schedule.
 	for _, a := range live {
@@ -586,8 +667,17 @@ func (c *Controller) runSAM(t int) {
 	// Dimensions are ours by construction; an error here means a bug, not
 	// solver trouble — surface it as a carry-level event rather than dying.
 	if err := c.state.SetReserved(reserved); err != nil {
-		c.Health.record(t, ModuleSAM, LevelCarry, "SetReserved: "+err.Error())
+		c.degrade(t, ModuleSAM, LevelCarry, "SetReserved: "+err.Error())
 	}
+}
+
+// degrade records one degradation in the Health report and mirrors it
+// into the event trace, so a golden trace pins down not just what the
+// loop did but every rung it had to give up on the way.
+func (c *Controller) degrade(t int, module string, lvl Level, reason string) {
+	c.Health.record(t, module, lvl, reason)
+	c.cfg.Obs.Emit(t, module, "degrade",
+		obs.S("level", lvl.String()), obs.S("reason", reason))
 }
 
 // chaosAction consults the configured injector (Proceed when none).
@@ -651,9 +741,15 @@ func (c *Controller) solveSAMLadder(ins *sched.Instance, t int) (*sched.Result, 
 			}
 			return r, nil
 		}
-		// Rung 1: warm solve.
+		// Rung 1: warm solve. (Under Config.ColdStart the previous terminal
+		// basis is not reused, but the within-ladder warm retries below —
+		// phase-1 terminal basis after a relaxation — are kept: they are part
+		// of the ladder's semantics, not a cross-solve optimization.)
 		opts := c.cfg.Solver
-		opts.WarmBasis = c.samBasis
+		opts.Stats = &c.samStats
+		if !c.cfg.ColdStart {
+			opts.WarmBasis = c.samBasis
+		}
 		relaxed := false
 		res, err := solve(opts)
 		if err == nil {
@@ -807,20 +903,26 @@ func (c *Controller) runPC(t int) {
 		}
 	}
 	opts := c.cfg.Solver
+	opts.Stats = &c.pcStats
 	switch c.chaosAction(chaos.ModulePC, t) {
 	case chaos.Fail:
-		c.Health.record(t, ModulePC, LevelRetainedPrices,
+		c.obs.pcRetain()
+		c.degrade(t, ModulePC, LevelRetainedPrices,
 			"injected solver outage; retaining prior window prices")
 		return
 	case chaos.Timeout:
 		opts.TimeBudget = time.Nanosecond
+	}
+	warmBasis := c.pcBasis
+	if c.cfg.ColdStart {
+		warmBasis = nil
 	}
 	window, basis, err := pricing.ComputePricesBasis(c.net, entries, capacity, period, period-w,
 		pricing.ComputerConfig{
 			WindowLen: w, Cost: c.cfg.Cost,
 			MinPrice: c.cfg.MinPrice, CostFloorFrac: 1,
 			Solver: opts,
-		}, c.pcBasis)
+		}, warmBasis)
 	if basis != nil {
 		c.pcBasis = basis
 	}
@@ -828,13 +930,21 @@ func (c *Controller) runPC(t int) {
 		// Retaining the prior window's prices is a deliberate degradation:
 		// quotes stay well-defined but stop tracking current load. Record
 		// it so the decision is auditable instead of silent.
-		c.Health.record(t, ModulePC, LevelRetainedPrices,
+		c.obs.pcRetain()
+		c.degrade(t, ModulePC, LevelRetainedPrices,
 			"solve failed ("+err.Error()+"); retaining prior window prices")
 		return
 	}
 	if err := c.state.SetPricesWindow(t, window); err != nil {
-		c.Health.record(t, ModulePC, LevelRetainedPrices,
+		c.obs.pcRetain()
+		c.degrade(t, ModulePC, LevelRetainedPrices,
 			"price window rejected ("+err.Error()+"); retaining prior window prices")
+		return
+	}
+	if c.cfg.Obs != nil {
+		maxPrice := c.obs.pcUpdate(window)
+		c.cfg.Obs.Emit(t, ModulePC, "update",
+			obs.I("entries", len(entries)), obs.I("window", w), obs.F("price_max", maxPrice))
 	}
 }
 
@@ -852,5 +962,9 @@ func (c *Controller) finalize() {
 		if short := a.adm.Guaranteed - a.delivered; short > 1e-9 {
 			c.outcome.Reneged[a.reqIdx] += short
 		}
+	}
+	if m := c.cfg.Obs.Metrics(); m != nil {
+		c.obs.publishLP(m, "sam.lp", c.samStats)
+		c.obs.publishLP(m, "pc.lp", c.pcStats)
 	}
 }

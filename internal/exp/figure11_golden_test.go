@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// updateGolden rewrites the checked-in figure goldens instead of
+// comparing: go test ./internal/exp -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden figure files")
+
+const fig11Golden = "testdata/figure11_golden.csv"
+
+// fig11GoldenTolerance is deliberately tight: the ablation pipeline is
+// deterministic end to end (seeded setup, exact simplex, fixed worker
+// fan-out), so the only acceptable drift is last-ulp float noise. Any
+// behavioral change to admission, scheduling, or pricing must show up
+// here and be acknowledged with -update.
+const fig11GoldenTolerance = 1e-9
+
+func fig11Rows(t *testing.T) []Row {
+	t.Helper()
+	rows, err := Figure11(Small(), []float64{0.5, 1, 2}, 1)
+	if err != nil {
+		t.Fatalf("Figure11: %v", err)
+	}
+	return rows
+}
+
+// TestFigure11Golden locks the fig11-family ablation numbers (welfare of
+// full Pretium / NoMenu / NoSAM relative to OPT, per load factor)
+// against checked-in golden values.
+func TestFigure11Golden(t *testing.T) {
+	rows := fig11Rows(t)
+	if *updateGolden {
+		var b strings.Builder
+		b.WriteString("label,scheme,value\n")
+		for _, r := range rows {
+			for _, c := range r.Columns {
+				fmt.Fprintf(&b, "%s,%s,%.17g\n", r.Label, c.Name, c.Value)
+			}
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(fig11Golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", fig11Golden)
+		return
+	}
+	f, err := os.Open(fig11Golden)
+	if err != nil {
+		t.Fatalf("open golden (run with -update to create): %v", err)
+	}
+	defer f.Close()
+	want := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Scan() // header
+	for sc.Scan() {
+		parts := strings.Split(sc.Text(), ",")
+		if len(parts) != 3 {
+			t.Fatalf("malformed golden line %q", sc.Text())
+		}
+		v, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			t.Fatalf("malformed golden value %q: %v", parts[2], err)
+		}
+		want[parts[0]+","+parts[1]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cells := 0
+	for _, r := range rows {
+		for _, c := range r.Columns {
+			key := r.Label + "," + c.Name
+			w, ok := want[key]
+			if !ok {
+				t.Errorf("cell %s missing from golden — refresh with -update", key)
+				continue
+			}
+			cells++
+			if math.Abs(c.Value-w) > fig11GoldenTolerance {
+				t.Errorf("%s = %.17g, golden %.17g (|diff| %.3g > %g)", key, c.Value, w, math.Abs(c.Value-w), fig11GoldenTolerance)
+			}
+		}
+	}
+	if cells != len(want) {
+		t.Errorf("figure emitted %d golden cells, golden file has %d", cells, len(want))
+	}
+}

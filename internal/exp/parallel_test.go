@@ -19,8 +19,10 @@ func renderRows(rows []Row) string {
 }
 
 // TestLoadSweepParallelDeterminism: LoadSweep with the worker pool must
-// produce byte-identical figure rows to the sequential path. Run under
-// `go test -race` this also shakes out data races between cells.
+// produce byte-identical figure rows to the sequential path at every
+// worker count — a prime count and one above the cell count exercise
+// uneven and starved schedules. Run under `go test -race` this also
+// shakes out data races between cells.
 func TestLoadSweepParallelDeterminism(t *testing.T) {
 	sc := Small()
 	loads := []float64{1, 2}
@@ -38,9 +40,10 @@ func TestLoadSweepParallelDeterminism(t *testing.T) {
 	}
 
 	seq := run(1)
-	par := run(4)
-	if seq != par {
-		t.Fatalf("parallel LoadSweep output differs from sequential.\nsequential:\n%s\nparallel:\n%s", seq, par)
+	for _, workers := range []int{2, 3, 4, 8} {
+		if par := run(workers); par != seq {
+			t.Fatalf("LoadSweep output at %d workers differs from sequential.\nsequential:\n%s\nworkers=%d:\n%s", workers, seq, workers, par)
+		}
 	}
 }
 

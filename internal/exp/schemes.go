@@ -50,6 +50,7 @@ func (s *Setup) PretiumConfig() core.Config {
 	mean := s.ValueDist.Mean()
 	cfg.InitialPrice = 0.4 * mean
 	cfg.MinPrice = 0.02 * mean
+	cfg.Obs = s.Obs
 	return cfg
 }
 

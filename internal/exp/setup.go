@@ -9,9 +9,19 @@ import (
 	"pretium/internal/cost"
 	"pretium/internal/graph"
 	"pretium/internal/lp"
+	"pretium/internal/obs"
 	"pretium/internal/stats"
 	"pretium/internal/traffic"
 )
+
+// Observe is the default observability recorder attached to every Setup
+// created by NewSetup (overridable per setup with WithObs). cmd/experiments
+// sets it from the -trace/-metrics flags before launching experiments.
+// Metrics aggregate safely across concurrent experiments (the registry is
+// atomic), but trace event *interleaving* across concurrent runs is
+// scheduler-dependent — for a byte-deterministic stream run a single
+// experiment, or give each run its own Recorder via WithObs.
+var Observe *obs.Recorder
 
 // Scale selects the experiment size. The paper runs a 106-node WAN with
 // 5-minute timesteps and Gurobi; our exact-but-slower simplex reproduces
@@ -114,6 +124,10 @@ type Setup struct {
 	LoadFactor float64
 	ValueDist  stats.Dist
 	Seed       int64
+	// Obs, when non-nil, is handed to every Pretium controller built from
+	// this setup (see PretiumConfig). Defaults to the package-level
+	// Observe recorder.
+	Obs *obs.Recorder
 }
 
 // SetupOption mutates the setup configuration before generation.
@@ -125,6 +139,7 @@ type setupParams struct {
 	seed       int64
 	costScale  float64
 	rateFrac   float64
+	rec        *obs.Recorder
 }
 
 // WithLoad sets the traffic-matrix load factor (paper: 0.5–4).
@@ -153,6 +168,12 @@ func WithRateFraction(f float64) SetupOption {
 	return func(p *setupParams) { p.rateFrac = f }
 }
 
+// WithObs attaches an observability recorder to the setup, overriding the
+// package-level Observe default (pass nil to detach).
+func WithObs(r *obs.Recorder) SetupOption {
+	return func(p *setupParams) { p.rec = r }
+}
+
 // NewSetup generates a deterministic experiment input at the given scale.
 func NewSetup(sc Scale, opts ...SetupOption) *Setup {
 	// Value scale calibration: the mean value per byte sits *below* the
@@ -166,6 +187,7 @@ func NewSetup(sc Scale, opts ...SetupOption) *Setup {
 		valueDist:  stats.Normal{Mu: 0.35, Sigma: 0.15, Floor: 0.02},
 		seed:       1,
 		costScale:  1,
+		rec:        Observe,
 	}
 	for _, o := range opts {
 		o(&p)
@@ -220,5 +242,6 @@ func NewSetup(sc Scale, opts ...SetupOption) *Setup {
 		LoadFactor: p.loadFactor,
 		ValueDist:  p.valueDist,
 		Seed:       p.seed,
+		Obs:        p.rec,
 	}
 }

@@ -283,6 +283,57 @@ func (s *Solution) Value(terms ...Term) float64 {
 	return v
 }
 
+// SolveStats accumulates solver telemetry across Solve calls when hung on
+// Options.Stats. It is deliberately plain counters, not a metrics handle:
+// the lp package stays zero-dependency, and callers (core publishes SAM
+// and PC stats separately) decide where the numbers go. Not safe for
+// concurrent use — give each concurrently running controller its own.
+type SolveStats struct {
+	// Solves counts Solve calls that reached the simplex (standardization
+	// errors are not counted; they never reach a pivot).
+	Solves int
+	// Iterations is the total pivot count across both phases and the
+	// dual-simplex warm-start cleanup.
+	Iterations int
+	// Refactorizations counts basis refactorizations (periodic cadence,
+	// kernel growth/drift triggers, and warm-basis installs alike).
+	Refactorizations int
+	// TimeBudgetHits counts solves that ended with Status TimeLimit.
+	TimeBudgetHits int
+	// IterLimitHits counts solves that ended with Status IterLimit.
+	IterLimitHits int
+	// WarmStarts counts solves where a supplied WarmBasis was actually
+	// used (installed primal feasible, or repaired by dual cleanup) —
+	// attempts that fell back cold are not counted.
+	WarmStarts int
+}
+
+// Merge adds other's counts into s.
+func (s *SolveStats) Merge(other SolveStats) {
+	s.Solves += other.Solves
+	s.Iterations += other.Iterations
+	s.Refactorizations += other.Refactorizations
+	s.TimeBudgetHits += other.TimeBudgetHits
+	s.IterLimitHits += other.IterLimitHits
+	s.WarmStarts += other.WarmStarts
+}
+
+// record folds one raw simplex outcome into the totals.
+func (s *SolveStats) record(res result) {
+	s.Solves++
+	s.Iterations += res.iters
+	s.Refactorizations += res.refactors
+	switch res.status {
+	case TimeLimit:
+		s.TimeBudgetHits++
+	case IterLimit:
+		s.IterLimitHits++
+	}
+	if res.warm {
+		s.WarmStarts++
+	}
+}
+
 // Options tunes the solver.
 type Options struct {
 	// MaxIters bounds total pivots; 0 means a generous default derived
@@ -315,6 +366,10 @@ type Options struct {
 	// testing and benchmarking; production call sites should leave this
 	// false.
 	DenseKernel bool
+	// Stats, when non-nil, accumulates solver telemetry (pivots,
+	// refactorizations, budget hits, warm-start uses) across Solve calls.
+	// The pointer is read once per solve; it adds no per-pivot cost.
+	Stats *SolveStats
 }
 
 // withDefaults normalizes the options against a standardized problem of n
@@ -347,6 +402,9 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 	}
 	opts = opts.withDefaults(std.n, std.m)
 	res := std.solve(opts)
+	if opts.Stats != nil {
+		opts.Stats.record(res)
+	}
 	sol := &Solution{
 		Status:      res.status,
 		Iterations:  res.iters,

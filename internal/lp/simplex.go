@@ -190,12 +190,14 @@ func coalesce(es []entry) []entry {
 
 // result is the raw simplex outcome over standardized columns.
 type result struct {
-	status Status
-	x      []float64 // per standardized column
-	y      []float64 // per row (duals of the minimization problem)
-	d      []float64 // reduced costs per standardized column
-	iters  int
-	basis  *Basis // terminal basis (Optimal and Infeasible outcomes)
+	status    Status
+	x         []float64 // per standardized column
+	y         []float64 // per row (duals of the minimization problem)
+	d         []float64 // reduced costs per standardized column
+	iters     int
+	refactors int    // basis refactorizations performed
+	warm      bool   // a supplied warm basis was actually used
+	basis     *Basis // terminal basis (Optimal and Infeasible outcomes)
 }
 
 // state is the revised-simplex working state. The basis representation
@@ -203,21 +205,22 @@ type result struct {
 // the Options.DenseKernel reference); the state owns the bookkeeping
 // arrays and scratch vectors the pivot loops share.
 type state struct {
-	std     *standard
-	fac     factor    // basis representation: B⁻¹ as FTRAN/BTRAN/update
-	basis   []int     // basic column per row
-	basePos []int     // column -> basis row + 1, or 0 if nonbasic
-	atUpper []bool    // nonbasic-at-upper flag per column
-	xB      []float64 // basic variable values
-	wBuf    []float64 // scratch: B⁻¹·A_q, reused every pivot
-	yBuf    []float64 // scratch: duals, reused across refactors
-	rhoBuf  []float64 // scratch: a row of B⁻¹ (dual updates, ratio tests)
-	cbBuf   []float64 // scratch: basic costs / right-hand sides
-	cand    []int     // partial-pricing candidate list
-	cursor  int       // partial-pricing scan position
-	tol     float64
-	iters   int
-	maxIter int
+	std           *standard
+	fac           factor    // basis representation: B⁻¹ as FTRAN/BTRAN/update
+	basis         []int     // basic column per row
+	basePos       []int     // column -> basis row + 1, or 0 if nonbasic
+	atUpper       []bool    // nonbasic-at-upper flag per column
+	xB            []float64 // basic variable values
+	wBuf          []float64 // scratch: B⁻¹·A_q, reused every pivot
+	yBuf          []float64 // scratch: duals, reused across refactors
+	rhoBuf        []float64 // scratch: a row of B⁻¹ (dual updates, ratio tests)
+	cbBuf         []float64 // scratch: basic costs / right-hand sides
+	cand          []int     // partial-pricing candidate list
+	cursor        int       // partial-pricing scan position
+	tol           float64
+	iters         int
+	refactors     int // refactorizations performed (telemetry for SolveStats)
+	maxIter       int
 	refactorEvery int
 	// deadline is the wall-clock cutoff from Options.TimeBudget (zero
 	// value = unlimited), checked between pivots and inside
@@ -312,7 +315,7 @@ func (std *standard) solve(opts Options) result {
 		if needPhase1 {
 			status := st.optimize(c1, false)
 			if status == IterLimit || status == TimeLimit {
-				return result{status: status, iters: st.iters}
+				return result{status: status, iters: st.iters, refactors: st.refactors}
 			}
 			infeas := 0.0
 			for i, j := range st.basis {
@@ -321,7 +324,7 @@ func (std *standard) solve(opts Options) result {
 				}
 			}
 			if infeas > 1e-7 {
-				return result{status: Infeasible, iters: st.iters, basis: st.capture()}
+				return result{status: Infeasible, iters: st.iters, refactors: st.refactors, basis: st.capture()}
 			}
 			st.expelArtificials()
 		}
@@ -329,7 +332,7 @@ func (std *standard) solve(opts Options) result {
 
 	// Phase 2: the real objective, artificials locked out of pricing.
 	status := st.optimize(std.c, true)
-	res := result{status: status, iters: st.iters}
+	res := result{status: status, iters: st.iters, refactors: st.refactors, warm: warm}
 	if status != Optimal {
 		return res
 	}
@@ -428,6 +431,7 @@ func (st *state) applyPivot(q, r int, w []float64) {
 // recomputes xB. Refactorization outcomes other than refactorOK leave xB
 // stale; callers must abort the pivot loop.
 func (st *state) refactor() refactorOutcome {
+	st.refactors++
 	out := st.fac.refactorize(st.std, st.basis, st.deadline)
 	if out == refactorOK {
 		st.recomputeXB()

@@ -1,0 +1,93 @@
+package lp
+
+import "testing"
+
+// statsModel builds a small LP with a nontrivial optimum:
+// max x+2y s.t. x+y<=4, y<=3, x,y>=0.
+func statsModel() (*Model, Var, Var) {
+	m := NewModel()
+	m.SetMaximize(true)
+	x := m.AddVar(0, Inf, 1, "x")
+	y := m.AddVar(0, Inf, 2, "y")
+	m.AddConstraint(LE, 4, Term{x, 1}, Term{y, 1})
+	m.AddConstraint(LE, 3, Term{y, 1})
+	return m, x, y
+}
+
+func TestSolveStatsAccumulates(t *testing.T) {
+	m, _, _ := statsModel()
+	var stats SolveStats
+	sol, err := m.Solve(Options{Stats: &stats})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve: %v %v", sol.Status, err)
+	}
+	if stats.Solves != 1 {
+		t.Fatalf("Solves = %d, want 1", stats.Solves)
+	}
+	if stats.Iterations != sol.Iterations {
+		t.Fatalf("Iterations = %d, want %d", stats.Iterations, sol.Iterations)
+	}
+	if stats.WarmStarts != 0 || stats.TimeBudgetHits != 0 || stats.IterLimitHits != 0 {
+		t.Fatalf("unexpected nonzero failure counters: %+v", stats)
+	}
+
+	// A tight refactorization cadence must show up in the counter (a cold
+	// start from the identity slack basis legitimately reports zero).
+	var tight SolveStats
+	if _, err := m.Solve(Options{RefactorEvery: 1, Stats: &tight}); err != nil {
+		t.Fatalf("tight-cadence solve: %v", err)
+	}
+	if tight.Refactorizations < 1 {
+		t.Fatalf("Refactorizations = %d with RefactorEvery=1, want >= 1", tight.Refactorizations)
+	}
+
+	// A second solve accumulates into the same struct.
+	if _, err := m.Solve(Options{Stats: &stats}); err != nil {
+		t.Fatalf("re-solve: %v", err)
+	}
+	if stats.Solves != 2 {
+		t.Fatalf("Solves = %d after second solve, want 2", stats.Solves)
+	}
+}
+
+func TestSolveStatsWarmStart(t *testing.T) {
+	m, _, _ := statsModel()
+	sol, err := m.Solve(Options{})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("cold solve: %v %v", sol.Status, err)
+	}
+	m.SetRHS(0, 5) // RHS perturbation: classic warm-start case
+	var stats SolveStats
+	sol2, err := m.Solve(Options{WarmBasis: sol.Basis(), Stats: &stats})
+	if err != nil || sol2.Status != Optimal {
+		t.Fatalf("warm solve: %v %v", sol2.Status, err)
+	}
+	if stats.WarmStarts != 1 {
+		t.Fatalf("WarmStarts = %d, want 1", stats.WarmStarts)
+	}
+}
+
+func TestSolveStatsIterLimit(t *testing.T) {
+	m, _, _ := statsModel()
+	var stats SolveStats
+	sol, err := m.Solve(Options{MaxIters: 1, Stats: &stats})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if sol.Status != IterLimit {
+		t.Fatalf("status = %v, want iteration-limit", sol.Status)
+	}
+	if stats.IterLimitHits != 1 {
+		t.Fatalf("IterLimitHits = %d, want 1", stats.IterLimitHits)
+	}
+}
+
+func TestSolveStatsMerge(t *testing.T) {
+	a := SolveStats{Solves: 1, Iterations: 10, Refactorizations: 2, TimeBudgetHits: 1, IterLimitHits: 1, WarmStarts: 1}
+	b := SolveStats{Solves: 2, Iterations: 5, Refactorizations: 1, WarmStarts: 1}
+	b.Merge(a)
+	want := SolveStats{Solves: 3, Iterations: 15, Refactorizations: 3, TimeBudgetHits: 1, IterLimitHits: 1, WarmStarts: 2}
+	if b != want {
+		t.Fatalf("merged = %+v, want %+v", b, want)
+	}
+}

@@ -1,0 +1,130 @@
+package obs_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pretium/internal/core"
+	"pretium/internal/exp"
+	"pretium/internal/obs"
+)
+
+// update rewrites the checked-in golden trace instead of comparing
+// against it: go test ./internal/obs -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+const goldenFile = "testdata/golden_trace.jsonl"
+
+// goldenRun executes the golden scenario — the Small experiment setup at
+// a fixed seed, run end-to-end through the Pretium controller — with its
+// own recorder, and returns the raw JSONL event stream. mutate lets
+// variants (cold start) tweak the controller config.
+func goldenRun(t *testing.T, mutate func(*core.Config)) []byte {
+	t.Helper()
+	rec, buf := obs.NewTraceRecorder()
+	s := exp.NewSetup(exp.Small(), exp.WithSeed(7), exp.WithObs(rec))
+	if _, err := s.RunPretium(mutate); err != nil {
+		t.Fatalf("RunPretium: %v", err)
+	}
+	if rec.Events() == 0 {
+		t.Fatal("golden run emitted no events")
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTrace locks the full event stream of the golden scenario
+// byte-for-byte against the checked-in golden file. Any change to event
+// names, payload keys, float formatting, emission order, or the control
+// loop's observable decisions shows up as a diff here; refresh
+// deliberately with -update and review the diff like code.
+func TestGoldenTrace(t *testing.T) {
+	got := goldenRun(t, nil)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenFile, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace diverges from golden:\n%s", traceDiff(want, got))
+	}
+}
+
+// TestGoldenTraceParallel re-runs the golden scenario several times under
+// exp.ParallelFor — each run owning its Recorder — and checks every
+// stream is byte-identical to a serial run: the trace depends only on the
+// scenario, never on goroutine scheduling.
+func TestGoldenTraceParallel(t *testing.T) {
+	want := goldenRun(t, nil)
+	const runs = 4
+	traces := make([][]byte, runs)
+	err := exp.ParallelFor(runs, func(i int) error {
+		rec, buf := obs.NewTraceRecorder()
+		s := exp.NewSetup(exp.Small(), exp.WithSeed(7), exp.WithObs(rec))
+		if _, err := s.RunPretium(nil); err != nil {
+			return err
+		}
+		traces[i] = buf.Bytes()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range traces {
+		if !bytes.Equal(tr, want) {
+			t.Errorf("parallel run %d diverges from serial:\n%s", i, traceDiff(want, tr))
+		}
+	}
+}
+
+// TestGoldenTraceColdStart runs the golden scenario with cross-solve
+// warm-basis reuse disabled and checks the stream is byte-identical to
+// the warm run: warm starts change the pivot path, never the observable
+// outcome, and the trace's 9-digit float precision absorbs last-ulp
+// roundoff between the two paths.
+func TestGoldenTraceColdStart(t *testing.T) {
+	warm := goldenRun(t, nil)
+	cold := goldenRun(t, func(c *core.Config) { c.ColdStart = true })
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("cold-start trace diverges from warm:\n%s", traceDiff(warm, cold))
+	}
+}
+
+// traceDiff renders the first few differing lines of two JSONL streams.
+func traceDiff(want, got []byte) string {
+	w := bytes.Split(want, []byte("\n"))
+	g := bytes.Split(got, []byte("\n"))
+	var out bytes.Buffer
+	fmt.Fprintf(&out, "golden %d lines, got %d lines\n", len(w), len(g))
+	shown := 0
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var wl, gl []byte
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if bytes.Equal(wl, gl) {
+			continue
+		}
+		fmt.Fprintf(&out, "line %d:\n  golden: %s\n  got:    %s\n", i+1, wl, gl)
+		if shown++; shown >= 5 {
+			fmt.Fprintln(&out, "  ...")
+			break
+		}
+	}
+	return out.String()
+}

@@ -1,0 +1,332 @@
+// Package obs is Pretium's observability substrate: a zero-dependency,
+// allocation-light metrics registry (counters, gauges, fixed-edge
+// histograms) plus a structured JSONL event trace for the RA/SAM/PC
+// control loop.
+//
+// The package is built around two determinism contracts the golden-trace
+// tests enforce:
+//
+//   - The event trace carries *logical* time only (the simulation step).
+//     No wall-clock, goroutine id, or pointer value may leak into it, so
+//     the stream from a deterministic run is byte-for-byte reproducible —
+//     serial or under exp.ParallelFor, cold or warm solver starts.
+//   - Histograms use fixed, caller-supplied bucket edges: a snapshot's
+//     shape never depends on the data that happened to arrive first.
+//
+// Every handle type (*Metrics, *Recorder, *Counter, *Gauge, *Histogram)
+// is nil-safe: a nil receiver makes every method a no-op, so
+// instrumented code paths pay one predictable branch when observability
+// is disabled instead of needing `if obs != nil` at every site.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// ready to use; a nil *Counter discards everything.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are a caller bug but are not rejected; a
+// counter is a sum, and the snapshot reports whatever was summed).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value float metric. The zero value is ready to use; a
+// nil *Gauge discards everything.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set overwrites the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket-edge distribution: an observation of x
+// lands in the first bucket with x <= edge[i], or the overflow bucket
+// when x exceeds every edge. Edges are fixed at creation so snapshots are
+// structurally deterministic. A nil *Histogram discards everything.
+type Histogram struct {
+	edges  []float64
+	counts []atomic.Int64 // len(edges)+1; last is overflow
+	count  atomic.Int64
+	sumMu  sync.Mutex
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.edges, x) // first edge >= x
+	h.counts[i].Add(1)
+	n := h.count.Add(1)
+	h.sumMu.Lock()
+	h.sum += x
+	if n == 1 || x < h.min {
+		h.min = x
+	}
+	if n == 1 || x > h.max {
+		h.max = x
+	}
+	h.sumMu.Unlock()
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.sumMu.Lock()
+	defer h.sumMu.Unlock()
+	return h.sum
+}
+
+// Metrics is the registry: named counters, gauges, and histograms,
+// created on first use and shared by name thereafter. Handles are meant
+// to be resolved once (at setup) and held, so the hot path never touches
+// the registry's lock. A nil *Metrics hands out nil handles, which
+// themselves no-op.
+type Metrics struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counts[name]
+	if !ok {
+		c = new(Counter)
+		m.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = new(Gauge)
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket edges on first use. Edges must be sorted ascending; later calls
+// with the same name reuse the existing histogram (and its original
+// edges) regardless of the edges argument.
+func (m *Metrics) Histogram(name string, edges []float64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		h = &Histogram{
+			edges:  append([]float64(nil), edges...),
+			counts: make([]atomic.Int64, len(edges)+1),
+		}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// WriteJSON renders a deterministic snapshot of the registry: one JSON
+// object with "counters", "gauges", and "histograms" sections, keys
+// sorted, floats in strconv 'g' shortest form. Metric *values* are not
+// part of the golden-trace determinism contract (solver iteration counts
+// legitimately vary cold vs warm); the snapshot layout is.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	if m == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var buf []byte
+	buf = append(buf, "{\n  \"counters\": {"...)
+	buf = appendSortedSection(buf, sortedKeys(m.counts), func(b []byte, k string) []byte {
+		return strconv.AppendInt(b, m.counts[k].Value(), 10)
+	})
+	buf = append(buf, "},\n  \"gauges\": {"...)
+	buf = appendSortedSection(buf, sortedKeys(m.gauges), func(b []byte, k string) []byte {
+		return appendJSONFloat(b, m.gauges[k].Value(), -1)
+	})
+	buf = append(buf, "},\n  \"histograms\": {"...)
+	buf = appendSortedSection(buf, sortedKeys(m.hists), func(b []byte, k string) []byte {
+		return m.hists[k].appendJSON(b)
+	})
+	buf = append(buf, "}\n}\n"...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// appendJSON renders one histogram as a JSON object.
+func (h *Histogram) appendJSON(b []byte) []byte {
+	b = append(b, `{"count":`...)
+	b = strconv.AppendInt(b, h.count.Load(), 10)
+	b = append(b, `,"sum":`...)
+	h.sumMu.Lock()
+	sum, mn, mx := h.sum, h.min, h.max
+	h.sumMu.Unlock()
+	b = appendJSONFloat(b, sum, -1)
+	if h.count.Load() > 0 {
+		b = append(b, `,"min":`...)
+		b = appendJSONFloat(b, mn, -1)
+		b = append(b, `,"max":`...)
+		b = appendJSONFloat(b, mx, -1)
+	}
+	b = append(b, `,"edges":[`...)
+	for i, e := range h.edges {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONFloat(b, e, -1)
+	}
+	b = append(b, `],"buckets":[`...)
+	for i := range h.counts {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, h.counts[i].Load(), 10)
+	}
+	b = append(b, "]}"...)
+	return b
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// appendSortedSection renders `"k": v` pairs for the given keys.
+func appendSortedSection(b []byte, keys []string, val func([]byte, string) []byte) []byte {
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, "\n    "...)
+		b = appendJSONString(b, k)
+		b = append(b, ": "...)
+		b = val(b, k)
+	}
+	if len(keys) > 0 {
+		b = append(b, "\n  "...)
+	}
+	return b
+}
+
+// appendJSONFloat appends a JSON-legal float: shortest 'g' form at
+// prec -1, or the given precision; non-finite values (illegal in JSON)
+// become quoted strings so the stream stays parseable.
+func appendJSONFloat(b []byte, v float64, prec int) []byte {
+	if math.IsInf(v, 1) {
+		return append(b, `"+Inf"`...)
+	}
+	if math.IsInf(v, -1) {
+		return append(b, `"-Inf"`...)
+	}
+	if math.IsNaN(v) {
+		return append(b, `"NaN"`...)
+	}
+	return strconv.AppendFloat(b, v, 'g', prec, 64)
+}
+
+// appendJSONString appends a quoted, escaped JSON string. Metric and
+// event names are plain identifiers in practice, but payload strings
+// (degradation reasons carry error text) get a full escape pass.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		case c == '\r':
+			b = append(b, '\\', 'r')
+		case c < 0x20:
+			b = append(b, fmt.Sprintf("\\u%04x", c)...)
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}

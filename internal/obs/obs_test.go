@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("ra.admitted")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if m.Counter("ra.admitted") != c {
+		t.Fatalf("second lookup did not return the same counter")
+	}
+	g := m.Gauge("pc.dual.max")
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", got)
+	}
+	if m.Gauge("pc.dual.max") != g {
+		t.Fatalf("second lookup did not return the same gauge")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("menu.size", []float64{1, 2, 4})
+	for _, x := range []float64{0, 1, 1.5, 2, 3, 4, 100} {
+		h.Observe(x)
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("count = %d, want 7", got)
+	}
+	if got := h.Sum(); got != 111.5 {
+		t.Fatalf("sum = %v, want 111.5", got)
+	}
+	// Buckets are <= edge: {0,1}, {1.5,2}, {3,4}, overflow {100}.
+	want := []int64{2, 2, 2, 1}
+	for i := range want {
+		if got := h.counts[i].Load(); got != want[i] {
+			t.Fatalf("bucket[%d] = %d, want %d", i, got, want[i])
+		}
+	}
+	// Re-registering ignores the new edges and returns the same histogram.
+	if m.Histogram("menu.size", []float64{9}) != h {
+		t.Fatalf("second lookup did not return the same histogram")
+	}
+}
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	var m *Metrics
+	c := m.Counter("x")
+	g := m.Gauge("x")
+	h := m.Histogram("x", []float64{1})
+	c.Inc()
+	c.Add(7)
+	g.Set(1)
+	h.Observe(2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil handles leaked state")
+	}
+	var r *Recorder
+	r.Emit(3, "SAM", "solve") // must not panic
+	if r.Metrics() != nil || r.Events() != 0 {
+		t.Fatalf("nil recorder not inert")
+	}
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	if sb.String() != "{}\n" {
+		t.Fatalf("nil snapshot = %q, want {}\\n", sb.String())
+	}
+}
+
+func TestWriteJSONDeterministicAndValid(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("b").Add(2)
+	m.Counter("a").Add(1)
+	m.Gauge("z").Set(math.Inf(1))
+	m.Gauge("y").Set(-0.25)
+	h := m.Histogram("lat", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(2)
+
+	var s1, s2 strings.Builder
+	if err := m.WriteJSON(&s1); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := m.WriteJSON(&s2); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if s1.String() != s2.String() {
+		t.Fatalf("snapshot not deterministic:\n%s\nvs\n%s", s1.String(), s2.String())
+	}
+	var doc map[string]map[string]any
+	if err := json.Unmarshal([]byte(s1.String()), &doc); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, s1.String())
+	}
+	if doc["counters"]["a"].(float64) != 1 || doc["counters"]["b"].(float64) != 2 {
+		t.Fatalf("counters wrong: %v", doc["counters"])
+	}
+	if doc["gauges"]["z"].(string) != "+Inf" {
+		t.Fatalf("infinite gauge = %v, want quoted +Inf", doc["gauges"]["z"])
+	}
+	hist := doc["histograms"]["lat"].(map[string]any)
+	if hist["count"].(float64) != 2 || hist["min"].(float64) != 0.25 || hist["max"].(float64) != 2 {
+		t.Fatalf("histogram summary wrong: %v", hist)
+	}
+	// Keys must be sorted within each section.
+	s := s1.String()
+	if strings.Index(s, `"a"`) > strings.Index(s, `"b"`) {
+		t.Fatalf("counter keys not sorted:\n%s", s)
+	}
+}
+
+func TestRecorderEmitFormat(t *testing.T) {
+	r, buf := NewTraceRecorder()
+	r.Emit(0, "RA", "admit", I("req", 3), F("price", 1.25), S("class", "guaranteed"))
+	r.Emit(7, "SAM", "ladder", S("level", `ok "warm"`), F("frac", 1.0/3.0))
+	want := `{"t":0,"mod":"RA","ev":"admit","req":3,"price":1.25,"class":"guaranteed"}` + "\n" +
+		`{"t":7,"mod":"SAM","ev":"ladder","level":"ok \"warm\"","frac":0.333333333}` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("trace:\n%s\nwant:\n%s", got, want)
+	}
+	if r.Events() != 2 {
+		t.Fatalf("events = %d, want 2", r.Events())
+	}
+	// Every line must be valid JSON.
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("line %q invalid JSON: %v", line, err)
+		}
+	}
+}
+
+func TestRecorderMetricsOnly(t *testing.T) {
+	r := NewRecorder(nil)
+	r.Emit(1, "PC", "solve")
+	if r.Events() != 1 {
+		t.Fatalf("metrics-only recorder should still count events")
+	}
+	r.Metrics().Counter("pc.solves").Inc()
+	if r.Metrics().Counter("pc.solves").Value() != 1 {
+		t.Fatalf("recorder metrics registry broken")
+	}
+}
+
+func TestFloatPrecisionAbsorbsRoundoff(t *testing.T) {
+	// Two values differing only in the last ulps must render identically
+	// at TraceFloatDigits — this is what makes warm-vs-cold golden traces
+	// byte-identical despite different pivot arithmetic.
+	a := 0.1 + 0.2
+	b := 0.3
+	if a == b {
+		t.Skip("platform folded the roundoff")
+	}
+	ra := string(appendJSONFloat(nil, a, TraceFloatDigits))
+	rb := string(appendJSONFloat(nil, b, TraceFloatDigits))
+	if ra != rb {
+		t.Fatalf("roundoff visible in trace: %s vs %s", ra, rb)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	m := NewMetrics()
+	r := NewRecorder(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := m.Counter("shared")
+			h := m.Histogram("h", []float64{10, 20})
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 30))
+				r.Emit(i, "RA", "tick")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := m.Histogram("h", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if got := r.Events(); got != 8000 {
+		t.Fatalf("events = %d, want 8000", got)
+	}
+}

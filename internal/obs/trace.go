@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// TraceFloatDigits is the significant-digit precision of float payloads
+// in the event trace. Full round-trip precision ('g', -1) would make the
+// golden stream sensitive to last-ulp roundoff differences between
+// arithmetically equivalent solver paths (a warm-started basis walks a
+// different pivot sequence to the same vertex than a cold start); nine
+// significant digits keep every quantity the control loop reasons about
+// while absorbing ~1e-12 relative noise.
+const TraceFloatDigits = 9
+
+// KV is one typed key/value payload entry of a trace event. Build them
+// with F (float), I (int), and S (string); the typed variants avoid
+// interface boxing on the emit path.
+type KV struct {
+	Key  string
+	kind uint8 // 0 float, 1 int, 2 string
+	f    float64
+	i    int64
+	s    string
+}
+
+// F is a float payload entry (rendered at TraceFloatDigits precision).
+func F(key string, v float64) KV { return KV{Key: key, kind: 0, f: v} }
+
+// I is an integer payload entry.
+func I(key string, v int) KV { return KV{Key: key, kind: 1, i: int64(v)} }
+
+// S is a string payload entry.
+func S(key string, v string) KV { return KV{Key: key, kind: 2, s: v} }
+
+// Recorder is the observability handle the control loop carries: a
+// metrics registry plus an optional structured event trace. A nil
+// *Recorder disables everything at ~zero cost; a Recorder with a nil
+// trace writer records metrics only.
+//
+// Events form a JSONL stream: one JSON object per line, with the logical
+// timestep ("t"), module tag ("mod"), event name ("ev"), and the typed
+// payload entries in emit order. The stream is fully deterministic for a
+// deterministic run — by contract it must never include wall-clock time,
+// durations, memory addresses, or scheduler-dependent ordering. Volatile
+// quantities (solve times, iteration counts) belong in the metrics
+// registry, which is exempt from byte-level determinism.
+//
+// Emit is safe for concurrent use (a mutex serializes lines), but
+// interleaving order across goroutines is scheduler-dependent; for a
+// deterministic stream give each concurrent run its own Recorder, as the
+// golden-trace tests do.
+type Recorder struct {
+	metrics *Metrics
+
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	n   int64 // events emitted
+}
+
+// NewRecorder creates a recorder with a fresh metrics registry. trace
+// may be nil for metrics-only recording.
+func NewRecorder(trace io.Writer) *Recorder {
+	return &Recorder{metrics: NewMetrics(), w: trace}
+}
+
+// Metrics returns the recorder's registry (nil for a nil recorder).
+func (r *Recorder) Metrics() *Metrics {
+	if r == nil {
+		return nil
+	}
+	return r.metrics
+}
+
+// Events returns the number of events emitted so far.
+func (r *Recorder) Events() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Emit appends one event line to the trace. No-op on a nil recorder or a
+// recorder without a trace writer (the event count still advances in the
+// latter case, so metrics-only runs can assert instrumentation fired).
+func (r *Recorder) Emit(step int, module, event string, kvs ...KV) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+	if r.w == nil {
+		return
+	}
+	b := r.buf[:0]
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, int64(step), 10)
+	b = append(b, `,"mod":`...)
+	b = appendJSONString(b, module)
+	b = append(b, `,"ev":`...)
+	b = appendJSONString(b, event)
+	for _, kv := range kvs {
+		b = append(b, ',')
+		b = appendJSONString(b, kv.Key)
+		b = append(b, ':')
+		switch kv.kind {
+		case 0:
+			b = appendJSONFloat(b, kv.f, TraceFloatDigits)
+		case 1:
+			b = strconv.AppendInt(b, kv.i, 10)
+		default:
+			b = appendJSONString(b, kv.s)
+		}
+	}
+	b = append(b, '}', '\n')
+	r.buf = b
+	r.w.Write(b) // a trace-sink write error must never abort the run
+}
+
+// TraceBuffer is an in-memory trace sink for tests and tools.
+type TraceBuffer struct {
+	bytes.Buffer
+}
+
+// NewTraceRecorder returns a recorder writing its event stream into the
+// returned buffer — the setup every golden-trace test uses.
+func NewTraceRecorder() (*Recorder, *TraceBuffer) {
+	var tb TraceBuffer
+	return NewRecorder(&tb), &tb
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pretium/internal/graph"
+	"pretium/internal/obs"
 	"pretium/internal/traffic"
 )
 
@@ -54,6 +55,17 @@ func BenchmarkQuoteMenu(b *testing.B) {
 		want := len(quoteMenuReference(st, req, req.Demand).Segments)
 		b.Run(sc.name+"/heap", func(b *testing.B) {
 			var q Quoter
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if m := q.Quote(st, req, req.Demand); len(m.Segments) != want {
+					b.Fatalf("got %d segments, want %d", len(m.Segments), want)
+				}
+			}
+		})
+		b.Run(sc.name+"/heap-obs", func(b *testing.B) {
+			// Telemetry enabled: the acceptance bar is <5% over plain heap.
+			var q Quoter
+			q.SetObs(obs.NewMetrics())
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if m := q.Quote(st, req, req.Demand); len(m.Segments) != want {

@@ -1,6 +1,9 @@
 package pricing
 
-import "pretium/internal/traffic"
+import (
+	"pretium/internal/obs"
+	"pretium/internal/traffic"
+)
 
 // Admitter is the batched request-admission front-end: it binds a shared
 // State to a private Quoter so a stream of arrivals is served with
@@ -20,6 +23,11 @@ type Admitter struct {
 
 // NewAdmitter creates an admitter serving quotes against st.
 func NewAdmitter(st *State) *Admitter { return &Admitter{st: st} }
+
+// SetObs enables quote-engine telemetry on this admitter's private quoter
+// (nil disables it). Admission outcomes are the controller's to record;
+// the admitter only owns the quoter-level counters.
+func (a *Admitter) SetObs(m *obs.Metrics) { a.q.SetObs(m) }
 
 // State returns the network state this admitter serves from.
 func (a *Admitter) State() *State { return a.st }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"pretium/internal/obs"
 	"pretium/internal/traffic"
 )
 
@@ -52,6 +53,36 @@ type Quoter struct {
 	// rekeyMark dedupes.
 	rekey     []int32
 	rekeyMark []bool
+
+	// Metric handles, pre-resolved by SetObs so the hot path never
+	// touches a registry lock. mQuotes doubles as the "observability on"
+	// flag: all counts accumulate in locals during a quote and publish
+	// behind this single nil check.
+	mQuotes   *obs.Counter
+	mRekeys   *obs.Counter
+	mHeapSize *obs.Histogram
+	mSegments *obs.Histogram
+}
+
+// Quoter metric histogram edges — fixed at registration so snapshots are
+// structurally deterministic (see package obs).
+var (
+	heapSizeEdges = []float64{8, 32, 128, 512, 2048, 8192}
+	segmentsEdges = []float64{1, 2, 4, 8, 16, 32, 64}
+)
+
+// SetObs points the quoter's telemetry at m (nil disables it again).
+// Metrics: quoter.quotes / quoter.rekeys counters, quoter.heap_size /
+// quoter.menu_segments histograms.
+func (q *Quoter) SetObs(m *obs.Metrics) {
+	if m == nil {
+		q.mQuotes, q.mRekeys, q.mHeapSize, q.mSegments = nil, nil, nil, nil
+		return
+	}
+	q.mQuotes = m.Counter("quoter.quotes")
+	q.mRekeys = m.Counter("quoter.rekeys")
+	q.mHeapSize = m.Histogram("quoter.heap_size", heapSizeEdges)
+	q.mSegments = m.Histogram("quoter.menu_segments", segmentsEdges)
 }
 
 // quoterPool backs the QuoteMenu free function so ad hoc callers get
@@ -114,6 +145,7 @@ func (q *Quoter) Quote(st *State, req *traffic.Request, maxBytes float64) *Menu 
 
 	menu := &Menu{}
 	quoted := 0.0
+	rekeys := 0 // published to obs after the loop, one nil check total
 	for quoted < maxBytes-1e-12 && len(q.heap) > 0 {
 		top := int(q.heap[0])
 		ri := top / W
@@ -180,6 +212,7 @@ func (q *Quoter) Quote(st *State, req *traffic.Request, maxBytes float64) *Menu 
 				}
 			}
 		}
+		rekeys += len(q.rekey)
 		for _, cj := range q.rekey {
 			q.rekeyMark[cj] = false
 			rj := int(cj) / W
@@ -200,6 +233,12 @@ func (q *Quoter) Quote(st *State, req *traffic.Request, maxBytes float64) *Menu 
 		}
 	}
 	menu.capBytes = quoted
+	if q.mQuotes != nil {
+		q.mQuotes.Inc()
+		q.mRekeys.Add(int64(rekeys))
+		q.mHeapSize.Observe(float64(nc))
+		q.mSegments.Observe(float64(len(menu.Segments)))
+	}
 	q.reset()
 	return menu
 }

@@ -118,6 +118,27 @@ func BenchmarkSAMSolve(b *testing.B) {
 				}
 				b.ReportMetric(float64(iters), "pivots")
 			})
+			if kernel.dense {
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/%s-obs", sc.name, kernel.name), func(b *testing.B) {
+				// Solver telemetry enabled (lp.Options.Stats): the
+				// acceptance bar is <5% over the plain sparse solve.
+				var stats lp.SolveStats
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := ins.Solve(lp.Options{Stats: &stats})
+					if err != nil {
+						b.Fatalf("Solve: %v", err)
+					}
+					if res.Status != lp.Optimal {
+						b.Fatalf("status %v", res.Status)
+					}
+				}
+				if stats.Solves != b.N {
+					b.Fatalf("stats recorded %d solves, want %d", stats.Solves, b.N)
+				}
+			})
 		}
 	}
 }

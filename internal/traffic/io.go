@@ -5,9 +5,20 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"pretium/internal/graph"
+)
+
+// Parsed-trace size bounds: a malformed (or hostile) trace must not be
+// able to request an absurd allocation via a single huge step or node
+// index. The cell cap is ~64M matrix entries (512 MB of float64), two
+// orders of magnitude above the paper-scale setup (168 steps x 105
+// nodes ~ 1.9M cells).
+const (
+	maxTraceNodes = 1 << 16
+	maxTraceCells = 1 << 26
 )
 
 // WriteSeriesCSV serializes a traffic-matrix time-series as CSV rows
@@ -79,8 +90,8 @@ func ReadSeriesCSV(r io.Reader) (Series, error) {
 		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 			return nil, fmt.Errorf("traffic: malformed CSV row %v", row)
 		}
-		if t < 0 || src < 0 || dst < 0 || v < 0 {
-			return nil, fmt.Errorf("traffic: negative field in CSV row %v", row)
+		if t < 0 || src < 0 || dst < 0 || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("traffic: negative or non-finite field in CSV row %v", row)
 		}
 		if src == dst {
 			return nil, fmt.Errorf("traffic: self-demand in CSV row %v", row)
@@ -99,12 +110,20 @@ func ReadSeriesCSV(r io.Reader) (Series, error) {
 	if maxStep < 0 {
 		return nil, fmt.Errorf("traffic: empty trace")
 	}
+	nodes := int64(maxNode) + 1
+	if nodes > maxTraceNodes || int64(maxStep)+1 > maxTraceCells/(nodes*nodes) {
+		return nil, fmt.Errorf("traffic: trace dimensions too large (%d steps, %d nodes)", maxStep+1, nodes)
+	}
 	s := make(Series, maxStep+1)
 	for t := range s {
 		s[t] = NewMatrix(maxNode + 1)
 	}
 	for _, rc := range recs {
-		s[rc.t].Demand[rc.src][rc.dst] += rc.v
+		d := s[rc.t].Demand[rc.src]
+		d[rc.dst] += rc.v
+		if math.IsInf(d[rc.dst], 0) {
+			return nil, fmt.Errorf("traffic: volume overflow at step %d, %d->%d", rc.t, rc.src, rc.dst)
+		}
 	}
 	return s, nil
 }
