@@ -5,10 +5,13 @@
 //	go test -run '^$' -bench Admit -benchmem ./internal/pricing | \
 //	    go run ./cmd/benchjson -out BENCH_admission.json
 //
-// Every benchmark line becomes {name, iterations, metrics}: metrics maps
-// each reported unit (ns/op, B/op, allocs/op, custom ReportMetric units)
-// to its value, with the -cpucount suffix stripped from the name. Header
-// lines (goos, goarch, pkg, cpu) are captured as metadata.
+// Every benchmark line becomes {name, iterations, ns_per_op, bytes_per_op,
+// allocs_per_op, metrics}: the three standard units are promoted to
+// explicit fields (0 when the bench did not report them) so downstream
+// tooling never key-matches against "ns/op" strings, and metrics maps
+// every reported unit (standard and custom ReportMetric ones) to its
+// value, with the -cpucount suffix stripped from the name. Header lines
+// (goos, goarch, pkg, cpu) are captured as metadata.
 package main
 
 import (
@@ -22,9 +25,15 @@ import (
 )
 
 type result struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// The three standard `go test -bench` units, promoted out of Metrics
+	// so regression tooling reads stable JSON keys; zero when the bench
+	// did not report the unit (e.g. -benchmem off).
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics"`
 }
 
 type report struct {
@@ -98,6 +107,14 @@ func parseBenchLine(line string) (result, bool) {
 			return result{}, false
 		}
 		r.Metrics[fields[i+1]] = v
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
 	}
 	return r, len(r.Metrics) > 0
 }

@@ -1,0 +1,61 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	// A real -benchmem line with a custom ReportMetric unit mixed in.
+	line := "BenchmarkSAMSolve/Paper/sparse-8     1   20975531190 ns/op   112403 pivots   52428800 B/op   123456 allocs/op"
+	r, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatalf("parseBenchLine rejected %q", line)
+	}
+	if r.Name != "BenchmarkSAMSolve/Paper/sparse" {
+		t.Errorf("name = %q, want cpu-count suffix stripped", r.Name)
+	}
+	if r.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", r.Iterations)
+	}
+	if r.NsPerOp != 20975531190 {
+		t.Errorf("ns_per_op = %v, want 20975531190", r.NsPerOp)
+	}
+	if r.BytesPerOp != 52428800 {
+		t.Errorf("bytes_per_op = %v, want 52428800", r.BytesPerOp)
+	}
+	if r.AllocsPerOp != 123456 {
+		t.Errorf("allocs_per_op = %v, want 123456", r.AllocsPerOp)
+	}
+	if r.Metrics["pivots"] != 112403 {
+		t.Errorf("metrics[pivots] = %v, want 112403", r.Metrics["pivots"])
+	}
+	// The promoted units stay in the metrics map too (backwards compat).
+	if r.Metrics["ns/op"] != r.NsPerOp {
+		t.Errorf("metrics[ns/op] = %v, want %v", r.Metrics["ns/op"], r.NsPerOp)
+	}
+}
+
+func TestParseBenchLineNoBenchmem(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkQuote-16   948   1264473 ns/op")
+	if !ok {
+		t.Fatal("parseBenchLine rejected a plain ns/op line")
+	}
+	if r.NsPerOp != 1264473 {
+		t.Errorf("ns_per_op = %v, want 1264473", r.NsPerOp)
+	}
+	if r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Errorf("bytes/allocs = %v/%v, want 0/0 when -benchmem is off", r.BytesPerOp, r.AllocsPerOp)
+	}
+}
+
+func TestParseBenchLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: pretium/internal/sched",
+		"ok  \tpretium/internal/sched\t24.9s",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine accepted %q", line)
+		}
+	}
+}

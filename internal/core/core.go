@@ -107,6 +107,15 @@ type Config struct {
 	// is byte-identical with and without warm starts; production runs
 	// leave it false.
 	ColdStart bool
+	// IncrementalSAM selects the paper-scale SAM solve path: instances are
+	// built with sched.Instance.ImplicitBounds, solved with lp presolve,
+	// and the built model is retained across timesteps — consecutive steps
+	// whose live-demand structure is unchanged patch the previous model in
+	// place (Built.Rebind) instead of rebuilding it. Any structural change
+	// or solver degradation falls back to a fresh build, so the flag only
+	// trades memory for speed, never correctness. Off by default; the
+	// default path is byte-identical to prior releases.
+	IncrementalSAM bool
 }
 
 // Fault is one injected capacity loss: edge capacity is multiplied by
@@ -197,6 +206,13 @@ type Controller struct {
 	// solver, so carrying them is always safe.
 	samBasis *lp.Basis
 	pcBasis  *lp.Basis
+	// samBuilt is the retained SAM model under Config.IncrementalSAM:
+	// when the next step's instance matches it structurally, Rebind
+	// patches it in place and the solve reuses the model's cached
+	// standardization and presolve recipe. Dropped when the ladder bottoms
+	// out in the LP-free fallback (a model that degraded that far should
+	// not haunt later steps).
+	samBuilt *sched.Built
 	// obs holds pre-resolved metric handles (nil when Config.Obs is);
 	// samStats/pcStats accumulate per-module solver telemetry via the
 	// lp.Options.Stats hook and publish to obs at finalize.
@@ -621,6 +637,7 @@ func (c *Controller) runSAM(t int) {
 		Net: c.net, Horizon: horizon, StartStep: t,
 		Capacity: capacity, FixedUsage: fixed,
 		Demands: demands, Cost: c.cfg.Cost, UseCostProxy: true,
+		ImplicitBounds: c.cfg.IncrementalSAM,
 	}
 	res, lvl, reason := c.solveSAMLadder(ins, t)
 	if res == nil {
@@ -700,6 +717,25 @@ func solveErr(r *sched.Result) error {
 	return r.Status.Err()
 }
 
+// buildOrRebind produces the scheduling model for ins. Under
+// Config.IncrementalSAM it first tries to re-target the retained model in
+// place (Built.Rebind) — valid whenever the live-demand structure is
+// unchanged since the last step — and falls back to (and retains) a fresh
+// build otherwise. Without the flag it is exactly ins.Build().
+func (c *Controller) buildOrRebind(ins *sched.Instance) (*sched.Built, error) {
+	if !c.cfg.IncrementalSAM {
+		return ins.Build()
+	}
+	if c.samBuilt != nil {
+		if err := c.samBuilt.Rebind(ins); err == nil {
+			return c.samBuilt, nil
+		}
+	}
+	b, err := ins.Build()
+	c.samBuilt = b // nil after a failed build: nothing worth retaining
+	return b, err
+}
+
 // solveSAMLadder runs the staged degradation ladder for one SAM solve:
 //
 //	rung 1: warm LP from the previous terminal basis;
@@ -721,7 +757,7 @@ func (c *Controller) solveSAMLadder(ins *sched.Instance, t int) (*sched.Result, 
 	}
 	chain := func() string { return strings.Join(reasons, "; ") }
 
-	built, err := ins.Build()
+	built, err := c.buildOrRebind(ins)
 	if err != nil {
 		fail("build", err)
 	} else {
@@ -747,6 +783,9 @@ func (c *Controller) solveSAMLadder(ins *sched.Instance, t int) (*sched.Result, 
 		// of the ladder's semantics, not a cross-solve optimization.)
 		opts := c.cfg.Solver
 		opts.Stats = &c.samStats
+		if c.cfg.IncrementalSAM {
+			opts.Presolve = true
+		}
 		if !c.cfg.ColdStart {
 			opts.WarmBasis = c.samBasis
 		}
@@ -792,9 +831,11 @@ func (c *Controller) solveSAMLadder(ins *sched.Instance, t int) (*sched.Result, 
 			fail("cold-relaxed", err)
 		}
 	}
-	// Rung 4: the LP-free fallback. Drop the basis chain — whatever state
-	// produced this descent should not warm-start the next step.
+	// Rung 4: the LP-free fallback. Drop the basis chain and the retained
+	// model — whatever state produced this descent should not warm-start
+	// the next step.
 	c.samBasis = nil
+	c.samBuilt = nil
 	res, gerr := ins.SolveGreedy()
 	if gerr == nil {
 		return res, LevelGreedy, chain()

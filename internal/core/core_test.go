@@ -366,6 +366,64 @@ func TestEndToEndSyntheticWAN(t *testing.T) {
 	}
 }
 
+// TestIncrementalSAMEquivalent runs the synthetic-WAN scenario with the
+// paper-scale SAM path (implicit bounds + presolve + retained/rebound
+// model) and requires the same safety properties as the default path plus
+// closely matching welfare. The two paths solve different formulations of
+// the same polytope, so degenerate optima allow allocation-level drift;
+// aggregate outcomes may not drift materially.
+func TestIncrementalSAMEquivalent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run")
+	}
+	wcfg := graph.DefaultWANConfig()
+	wcfg.Regions, wcfg.NodesPerRegion = 2, 3
+	n := graph.GenerateWAN(wcfg)
+	gcfg := traffic.DefaultGenConfig(12)
+	gcfg.StepsPerDay = 12
+	gcfg.BaseDemand = 4
+	series := traffic.Generate(n, gcfg)
+	rcfg := traffic.DefaultRequestConfig()
+	rcfg.MeanSize = 25
+	rcfg.MaxSlack = 6
+	rcfg.RoutesPerRequest = 2
+	reqs := traffic.Synthesize(n, series, rcfg)
+
+	run := func(incremental bool) sim.Report {
+		cfg := DefaultConfig(12)
+		cfg.Cost = cost.DefaultConfig(12)
+		cfg.PriceWindow = 6
+		cfg.IncrementalSAM = incremental
+		c, err := New(n, cloneReqs(reqs), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.CheckCapacities(n, out.Usage, 1e-5); err != nil {
+			t.Errorf("incremental=%v: %v", incremental, err)
+		}
+		rep, err := sim.Evaluate(n, reqs, out, cfg.Cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.RenegedBytes > 1e-6 {
+			t.Errorf("incremental=%v reneged %v bytes in a fault-free run", incremental, rep.RenegedBytes)
+		}
+		return rep
+	}
+	ref, inc := run(false), run(true)
+	if inc.Value <= 0 {
+		t.Error("incremental path delivered no value")
+	}
+	diff := math.Abs(ref.Welfare - inc.Welfare)
+	if diff > 0.05*math.Max(1, math.Abs(ref.Welfare)) {
+		t.Errorf("welfare drift: default=%v incremental=%v", ref.Welfare, inc.Welfare)
+	}
+}
+
 func TestAblationOrdering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end run")

@@ -139,6 +139,64 @@ func GenerateWAN(cfg WANConfig) *Network {
 	return n
 }
 
+// PaperWAN builds a fixed topology with the exact dimensions the paper
+// reports for the production inter-DC WAN: 106 datacenters and 226 directed
+// links. The paper does not disclose the graph itself, so the structure is
+// synthetic but shaped like a provider backbone: 8 regions of 12–14 nodes,
+// each a hub-and-spoke star (98 undirected spoke links), with the 8 hubs
+// meshed by 15 undirected backbone links (a 7-link tree plus 8 chords for
+// path diversity). Every undirected link is a pair of directed edges:
+// (98 + 15) * 2 = 226. About 15% of edges — backbone links first, as in the
+// paper where ISP-purchased egress is the 95th-percentile-charged part —
+// are usage-priced. Deterministic given seed.
+func PaperWAN(seed int64) *Network {
+	regionSizes := []int{14, 14, 14, 13, 13, 13, 13, 12} // = 106 nodes
+	hubTree := [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 4}, {3, 5}, {4, 6}, {5, 7}}
+	hubChords := [][2]int{{0, 7}, {1, 2}, {3, 4}, {5, 6}, {6, 7}, {1, 4}, {2, 5}, {0, 3}}
+
+	const (
+		intraCapacity  = 100.0
+		interCapacity  = 60.0
+		capacityJitter = 0.3
+		pricedFraction = 0.15
+		meanUsageCost  = 1.0
+	)
+	r := rand.New(rand.NewSource(seed))
+	n := New()
+	jitter := func(mean float64) float64 {
+		return mean * (1 + capacityJitter*(2*r.Float64()-1))
+	}
+	hubs := make([]NodeID, len(regionSizes))
+	for g, size := range regionSizes {
+		region := fmt.Sprintf("region%d", g)
+		hubs[g] = n.AddNode(fmt.Sprintf("hub%d", g), region)
+		for i := 1; i < size; i++ {
+			n.AddNode(fmt.Sprintf("dc%d-%d", g, i), region)
+		}
+	}
+	var interEdges, intraEdges []EdgeID
+	for g, size := range regionSizes {
+		first := int(hubs[g])
+		for i := 1; i < size; i++ {
+			spoke := NodeID(first + i)
+			intraEdges = append(intraEdges,
+				n.AddEdge(hubs[g], spoke, jitter(intraCapacity)),
+				n.AddEdge(spoke, hubs[g], jitter(intraCapacity)))
+		}
+	}
+	for _, l := range append(append([][2]int(nil), hubTree...), hubChords...) {
+		interEdges = append(interEdges,
+			n.AddEdge(hubs[l[0]], hubs[l[1]], jitter(interCapacity)),
+			n.AddEdge(hubs[l[1]], hubs[l[0]], jitter(interCapacity)))
+	}
+	want := int(pricedFraction*float64(n.NumEdges()) + 0.5)
+	pool := append(append([]EdgeID(nil), interEdges...), intraEdges...)
+	for i := 0; i < want && i < len(pool); i++ {
+		n.SetUsagePriced(pool[i], meanUsageCost*(0.5+r.Float64()))
+	}
+	return n
+}
+
 // ScaleUsageCosts multiplies every usage-priced edge's C_e by factor; the
 // Figure 12 sweep varies mean link cost this way.
 func (n *Network) ScaleUsageCosts(factor float64) {

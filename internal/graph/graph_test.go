@@ -257,6 +257,47 @@ func TestGenerateWANBadConfigPanics(t *testing.T) {
 	GenerateWAN(WANConfig{Regions: 0, NodesPerRegion: 2})
 }
 
+func TestPaperWANShape(t *testing.T) {
+	n := PaperWAN(1)
+	if n.NumNodes() != 106 {
+		t.Fatalf("nodes = %d, want 106 (paper topology)", n.NumNodes())
+	}
+	if n.NumEdges() != 226 {
+		t.Fatalf("edges = %d, want 226 (paper topology)", n.NumEdges())
+	}
+	if got := len(n.Regions()); got != 8 {
+		t.Fatalf("regions = %d, want 8", got)
+	}
+	up := len(n.UsagePricedEdges())
+	frac := float64(up) / float64(n.NumEdges())
+	if frac < 0.10 || frac > 0.20 {
+		t.Errorf("usage-priced fraction = %v, want ~0.15", frac)
+	}
+	for _, e := range n.Edges() {
+		if e.Capacity <= 0 {
+			t.Errorf("edge %d capacity %v", e.ID, e.Capacity)
+		}
+	}
+	// Strongly connected: spokes reach their hub, hubs mesh via the tree.
+	for a := 0; a < n.NumNodes(); a += 7 {
+		for b := 0; b < n.NumNodes(); b += 11 {
+			if a == b {
+				continue
+			}
+			if p := n.ShortestPath(NodeID(a), NodeID(b)); p == nil {
+				t.Fatalf("no path %d -> %d", a, b)
+			}
+		}
+	}
+	// Deterministic for a fixed seed.
+	m := PaperWAN(1)
+	for i := range n.Edges() {
+		if n.Edge(EdgeID(i)) != m.Edge(EdgeID(i)) {
+			t.Fatalf("edge %d differs between identical seeds", i)
+		}
+	}
+}
+
 func TestRegionsAndSameRegion(t *testing.T) {
 	n := GenerateWAN(DefaultWANConfig())
 	regs := n.Regions()

@@ -53,6 +53,19 @@ type factor interface {
 	// w is consumed (the caller's scratch; the kernel must copy what it
 	// keeps).
 	update(r int, w []float64)
+	// ftranColNz is the hyper-sparse form of ftranCol for large models: it
+	// zeroes out's entries at prev (the list the previous call returned for
+	// this buffer), computes only the reachable entries, and returns their
+	// deduplicated (unsorted) index list. Everything off the list is exactly
+	// zero. The caller owns one prev list per output buffer and must thread
+	// it through every call.
+	ftranColNz(col []entry, out []float64, prev []int32) []int32
+	// btranUnitNz is the hyper-sparse form of btranUnit, same contract as
+	// ftranColNz (indices are constraint rows).
+	btranUnitNz(r int, out []float64, prev []int32) []int32
+	// updateNz is update with the column's nonzero list (sorted ascending)
+	// supplied, letting the kernel skip its O(m) scan of w.
+	updateNz(r int, w []float64, wnz []int32)
 	// age counts product-form pivots applied since the last reset or
 	// refactorization — the periodic-refactorization hygiene counter.
 	age() int
@@ -244,6 +257,35 @@ func (f *denseFactor) update(r int, w []float64) {
 		}
 	}
 	f.nPiv++
+}
+
+// The dense kernel has no sparsity to exploit: the Nz variants compute the
+// full dense result and report its nonzero pattern (prev needs no clearing —
+// the dense solves overwrite every entry).
+func (f *denseFactor) ftranColNz(col []entry, out []float64, prev []int32) []int32 {
+	f.ftranCol(col, out)
+	nz := prev[:0]
+	for i, v := range out[:f.m] {
+		if v != 0 {
+			nz = append(nz, int32(i))
+		}
+	}
+	return nz
+}
+
+func (f *denseFactor) btranUnitNz(r int, out []float64, prev []int32) []int32 {
+	f.btranUnit(r, out)
+	nz := prev[:0]
+	for i, v := range out[:f.m] {
+		if v != 0 {
+			nz = append(nz, int32(i))
+		}
+	}
+	return nz
+}
+
+func (f *denseFactor) updateNz(r int, w []float64, wnz []int32) {
+	f.update(r, w)
 }
 
 func (f *denseFactor) clone() factor {

@@ -44,8 +44,252 @@ type luFactor struct {
 	baseNnz int  // nnz(L)+nnz(U) at factorization, anchors the growth policy
 	drift   bool // an ill-conditioned eta pivot was absorbed
 
+	// Transposed factorization structure for rhs-sparsity-adaptive solves.
+	// ucPtr/ucIdx is a CSR map from elimination step k to the earlier steps
+	// whose U rows reference z[k] (FTRAN's back-substitution dependents);
+	// lrPtr/lrIdx maps each constraint row r to the L-op indices that read
+	// out[r] (BTRAN's transposed-pass dependents). Both are immutable after
+	// refactorize/reset and shared by clones, like the factorization itself.
+	ucPtr, ucIdx []int32
+	lrPtr, lrIdx []int32
+
+	// Permutation inverses and the row→op map for the hyper-sparse solves
+	// (ftranColNz/btranUnitNz): posStep is the inverse of permPos (basis
+	// position → elimination step), stepOfRow the inverse of permRow, and
+	// rowOp[r] the index of the elimination op whose pivot row is r (-1 when
+	// row r generated no multipliers). Immutable after refactorize/reset,
+	// shared by clones.
+	posStep   []int32
+	stepOfRow []int32
+	rowOp     []int32
+
 	xwork []float64 // row-space scratch
 	zwork []float64 // elimination-order scratch
+	umark []bool    // FTRAN U-solve reachability marks (self-clearing)
+	lmark []bool    // BTRAN L-op reachability marks (cleared per solve)
+
+	// Hyper-sparse solve scratch. sxw/szw are kept all-zero between calls
+	// (each call clears exactly what it touched); the marks likewise. omark
+	// and smark self-clear as the worklist heaps drain; pmark is cleared
+	// with the eta-pass nonzero list; posMark/rmark persist between calls as
+	// "currently in the caller's nonzero list" and are cleared when the next
+	// call zeroes the previous output.
+	sxw, szw       []float64
+	smark, pmark   []bool
+	posMark, rmark []bool
+	omark          []bool
+	heapA, heapB   []int32
+	lstA, lstB     []int32
+
+	// mkz holds the refactorization working set (active matrix, Markowitz
+	// count buckets). It is reused across refactorizations — on paper-scale
+	// models the active-matrix slices are the bulk of a refactorization's
+	// allocations — and never shared with clones (the factorization output
+	// slices are the immutable product; the scratch is not).
+	mkz *markowitzScratch
+}
+
+// markowitzScratch is the reusable working set of refactorize. Everything
+// here is dead between refactorizations; only slice capacity is retained.
+type markowitzScratch struct {
+	rowNz    [][]ment  // active matrix rows (by constraint row)
+	colRows  [][]int32 // per position: rows that (may) hold a nonzero
+	colCount []int
+	rowCount []int
+	rowDone  []bool
+	colDone  []bool
+	seen     []int
+	inWs     []bool
+	posList  []int32
+
+	// Count buckets for the Markowitz candidate search: bucket c is a
+	// binary min-heap (by column position) of the active columns with
+	// exactly c live entries. heapKey[j] names the bucket holding column
+	// j's single valid entry (-1 when done); entries left behind in other
+	// buckets by count changes are stale and discarded lazily on pop.
+	// valid[c] counts live entries so bucket scans skip empties, and
+	// minBucket lower-bounds the lowest non-empty bucket. Together they
+	// turn the per-step candidate search from a full O(m) column scan
+	// into a few heap operations — the difference between O(m²) and
+	// near-O(nnz) refactorizations on paper-scale staircase models.
+	heaps    [][]int32
+	heapKey  []int32
+	valid    []int
+	minBucket int
+	popped   []int32
+
+	// Singleton queues for the staircase peeling pass (large models only).
+	// colQ collects columns whose live count drops to 1 (setColCount feeds
+	// it); rowQ collects rows whose live count drops to 1. Entries go stale
+	// when counts move on — consumers re-check before use.
+	colQ []int32
+	rowQ []int32
+}
+
+// ensure sizes every scratch slice for an m-row factorization and resets
+// the per-refactorization state, retaining capacity wherever possible.
+func (s *markowitzScratch) ensure(m int) {
+	if cap(s.rowNz) < m {
+		s.rowNz = make([][]ment, m)
+		s.colRows = make([][]int32, m)
+		s.colCount = make([]int, m)
+		s.rowCount = make([]int, m)
+		s.rowDone = make([]bool, m)
+		s.colDone = make([]bool, m)
+		s.seen = make([]int, m)
+		s.inWs = make([]bool, m)
+		s.heaps = make([][]int32, m+1)
+		s.heapKey = make([]int32, m)
+		s.valid = make([]int, m+1)
+	}
+	s.rowNz = s.rowNz[:m]
+	s.colRows = s.colRows[:m]
+	s.colCount = s.colCount[:m]
+	s.rowCount = s.rowCount[:m]
+	s.rowDone = s.rowDone[:m]
+	s.colDone = s.colDone[:m]
+	s.seen = s.seen[:m]
+	s.inWs = s.inWs[:m]
+	s.heaps = s.heaps[:m+1]
+	s.heapKey = s.heapKey[:m]
+	s.valid = s.valid[:m+1]
+	for i := 0; i < m; i++ {
+		s.rowNz[i] = s.rowNz[i][:0]
+		s.colRows[i] = s.colRows[i][:0]
+		s.rowDone[i] = false
+		s.colDone[i] = false
+		s.seen[i] = 0
+		s.inWs[i] = false
+		s.heapKey[i] = -1
+	}
+	for c := 0; c <= m; c++ {
+		s.heaps[c] = s.heaps[c][:0]
+		s.valid[c] = 0
+	}
+	s.minBucket = 0
+	s.colQ = s.colQ[:0]
+	s.rowQ = s.rowQ[:0]
+}
+
+// heapPush adds column j to bucket c (binary min-heap by position).
+func (s *markowitzScratch) heapPush(c int, j int32) {
+	h := append(s.heaps[c], j)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	s.heaps[c] = h
+}
+
+// heapPop removes and returns the smallest column in bucket c.
+func (s *markowitzScratch) heapPop(c int) int32 {
+	h := s.heaps[c]
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r] < h[l] {
+			l = r
+		}
+		if h[i] <= h[l] {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	s.heaps[c] = h
+	return top
+}
+
+// setColCount records column j's live-entry count changing to c, moving its
+// valid bucket entry. Calls on finished columns are ignored.
+func (s *markowitzScratch) setColCount(j int32, c int) {
+	s.colCount[j] = c
+	if s.colDone[j] {
+		return
+	}
+	if c == 1 {
+		s.colQ = append(s.colQ, j)
+	}
+	if old := s.heapKey[j]; old >= 0 {
+		s.valid[old]--
+	}
+	s.heapKey[j] = int32(c)
+	s.valid[c]++
+	s.heapPush(c, j)
+	if c < s.minBucket {
+		s.minBucket = c
+	}
+}
+
+// retireCol marks column j finished, invalidating its bucket entry.
+func (s *markowitzScratch) retireCol(j int32) {
+	s.colDone[j] = true
+	if old := s.heapKey[j]; old >= 0 {
+		s.valid[old]--
+		s.heapKey[j] = -1
+	}
+}
+
+// candidates fills cand with the (up to) markowitzCandidates active columns
+// lowest in (count, position) lexicographic order — exactly the set the
+// original full scan selected — and reports how many were found. A false
+// second result means an active column has no live entries left (no fill
+// can ever reach it), i.e. the basis is structurally singular.
+func (s *markowitzScratch) candidates(cand *[markowitzCandidates]int32) (int, bool) {
+	if s.valid[0] > 0 {
+		return 0, false
+	}
+	nc := 0
+	for c := s.minBucket; c < len(s.valid) && nc < markowitzCandidates; c++ {
+		if s.valid[c] == 0 {
+			if nc == 0 {
+				s.minBucket = c + 1
+			}
+			continue
+		}
+		s.popped = s.popped[:0]
+		h := s.heaps[c]
+		for len(h) > 0 && nc < markowitzCandidates {
+			j := s.heapPop(c)
+			h = s.heaps[c]
+			if s.heapKey[j] != int32(c) || s.colDone[j] {
+				continue // stale: dropped for good
+			}
+			// A count oscillation (c → c' → c) leaves a second, stale
+			// entry for j in this bucket that the heapKey test cannot
+			// tell from the live one; valid[c] counts it once, so drop
+			// repeats here (nc is at most 4, the scan is free).
+			dup := false
+			for _, p := range s.popped {
+				if p == j {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			cand[nc] = j
+			nc++
+			s.popped = append(s.popped, j)
+		}
+		for _, j := range s.popped {
+			s.heapPush(c, j)
+		}
+	}
+	return nc, true
 }
 
 // lue is one off-diagonal U entry: k is the elimination step of the column
@@ -99,6 +343,98 @@ const (
 	etaGrowthLimit = 4
 )
 
+// minPush32/minPop32 and maxPush32/maxPop32 are the binary-heap worklists of
+// the hyper-sparse triangular solves. The heap order is what lets a solve
+// process only the reachable ops/steps while still visiting them in exactly
+// the dense pass's direction (ascending or descending), which the
+// factorization's dependency structure requires.
+func minPush32(h []int32, v int32) []int32 {
+	h = append(h, v)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func minPop32(h []int32) (int32, []int32) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r] < h[l] {
+			l = r
+		}
+		if h[i] <= h[l] {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	return top, h
+}
+
+func maxPush32(h []int32, v int32) []int32 {
+	h = append(h, v)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] >= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func maxPop32(h []int32) (int32, []int32) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r] > h[l] {
+			l = r
+		}
+		if h[i] >= h[l] {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	return top, h
+}
+
+// nzCutoff is the worklist size beyond which a hyper-sparse stage stops
+// paying heap log-factors and degrades to a linear mark-driven sweep (the
+// marks are already in place; the sweep visits indices in the same direction
+// the heap would have popped them, so the float stream is unchanged). n is
+// the stage's index-space size (ops or steps).
+func nzCutoff(n int) int {
+	c := n / 16
+	if c < 32 {
+		c = 32
+	}
+	return c
+}
+
 func (f *luFactor) denseKernel() bool { return false }
 func (f *luFactor) age() int          { return len(f.etas) }
 
@@ -110,6 +446,23 @@ func (f *luFactor) ensureScratch() {
 	if len(f.xwork) != f.m {
 		f.xwork = make([]float64, f.m)
 		f.zwork = make([]float64, f.m)
+		f.umark = make([]bool, f.m)
+	}
+}
+
+// ensureNzScratch sizes the hyper-sparse solve working set. sxw/szw come
+// back from make all-zero, which establishes the kept-clean invariant.
+func (f *luFactor) ensureNzScratch() {
+	if len(f.sxw) != f.m {
+		f.sxw = make([]float64, f.m)
+		f.szw = make([]float64, f.m)
+		f.smark = make([]bool, f.m)
+		f.pmark = make([]bool, f.m)
+		f.posMark = make([]bool, f.m)
+		f.rmark = make([]bool, f.m)
+	}
+	if len(f.omark) < len(f.lops) {
+		f.omark = make([]bool, len(f.lops))
 	}
 }
 
@@ -123,15 +476,26 @@ func (f *luFactor) reset(m int) {
 	f.ud = make([]float64, m)
 	f.permRow = make([]int32, m)
 	f.permPos = make([]int32, m)
+	f.posStep = make([]int32, m)
+	f.stepOfRow = make([]int32, m)
+	f.rowOp = make([]int32, m)
 	for k := 0; k < m; k++ {
 		f.ud[k] = 1
 		f.permRow[k] = int32(k)
 		f.permPos[k] = int32(k)
+		f.posStep[k] = int32(k)
+		f.stepOfRow[k] = int32(k)
+		f.rowOp[k] = -1
 	}
 	f.etas = nil
 	f.etaNnz = 0
 	f.baseNnz = m
 	f.drift = false
+	f.ucPtr = make([]int32, m+1)
+	f.ucIdx = nil
+	f.lrPtr = make([]int32, m+1)
+	f.lrIdx = nil
+	f.lmark = nil
 	f.ensureScratch()
 }
 
@@ -154,163 +518,218 @@ func rowGet(row []ment, pos int32) (float64, bool) {
 }
 
 // refactorize factors the basis columns from scratch, replacing every
-// internal slice (clones taken earlier keep their own view), and clears the
-// eta file. The deadline is checked every 64 elimination steps so a large
+// factorization output slice (clones taken earlier keep their own view) and
+// clearing the eta file; the working set comes from the reusable Markowitz
+// scratch. The deadline is checked every 64 elimination steps so a large
 // factorization respects Options.TimeBudget.
 func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) refactorOutcome {
 	m := std.m
 	f.m = m
 	f.ensureScratch()
+	if f.mkz == nil {
+		f.mkz = &markowitzScratch{}
+	}
+	s := f.mkz
+	s.ensure(m)
 
 	// Active matrix: rows by original constraint row, a per-position list
 	// of rows that (may) hold a nonzero there, and exact per-row/column
-	// nonzero counts for the Markowitz cost.
-	rowNz := make([][]ment, m)
-	colRows := make([][]int32, m)
-	colCount := make([]int, m)
-	rowCount := make([]int, m)
+	// nonzero counts feeding the Markowitz cost via the count buckets.
+	rowNz := s.rowNz
+	colRows := s.colRows
+	colCount := s.colCount
+	rowCount := s.rowCount
 	for p, j := range basis {
 		col := std.cols[j]
-		colCount[p] = len(col)
-		rows := make([]int32, 0, len(col))
 		for _, e := range col {
 			rowNz[e.row] = append(rowNz[e.row], ment{pos: int32(p), val: e.val})
-			rows = append(rows, int32(e.row))
+			colRows[p] = append(colRows[p], int32(e.row))
 		}
-		colRows[p] = rows
 	}
+	for p := range basis {
+		s.setColCount(int32(p), len(colRows[p]))
+	}
+	// Staircase peeling is gated like the hyper-sparse solves: it changes
+	// the pivot order, and small models' float streams are pinned by the
+	// golden-trace suite.
+	peel := m >= nzVectorMinRows
 	for i := range rowNz {
 		rowCount[i] = len(rowNz[i])
+		if peel && rowCount[i] == 1 {
+			s.rowQ = append(s.rowQ, int32(i))
+		}
 	}
 
-	rowDone := make([]bool, m)
-	colDone := make([]bool, m)
+	rowDone := s.rowDone
+	colDone := s.colDone
+	// Factorization outputs: freshly allocated every time because clones
+	// share them immutably. The per-step L multipliers are carved out of
+	// one append-grown arena — slices carved before a growth keep the old
+	// backing array, which is never written again, so sharing stays safe.
 	lops := make([]lop, 0, m/4+1)
-	ur := make([][]lue, m)    // built as position-indexed, remapped at the end
+	opArena := make([]entry, 0, 4*m)
+	ur := make([][]lue, m) // built as position-indexed, remapped at the end
 	urPos := make([][]ment, m)
+	uArena := make([]ment, 0, 4*m)
 	ud := make([]float64, m)
 	permRow := make([]int32, m)
 	permPos := make([]int32, m)
 
 	// Stamped row-visited marks dedupe colRows (a row is re-appended when
 	// a dropped entry fills back in).
-	seen := make([]int, m)
+	seen := s.seen
 	stamp := 0
 
 	ws := f.xwork // dense row-combination workspace, by position
-	inWs := make([]bool, m)
-	posList := make([]int32, 0, 64)
+	inWs := s.inWs
 
 	for k := 0; k < m; k++ {
 		if k&63 == 0 && expired(deadline) {
 			return refactorTimeout
 		}
 
-		// Markowitz pivot search over the lowest-count columns.
+		// Staircase peeling: singleton pivots need no Markowitz search.
+		// A singleton column's pivot generates no multipliers at all (no
+		// other live row holds the column); a singleton row's pivot
+		// eliminates its column from the other rows *exactly* — the pivot
+		// row has nothing else to add, so there is no fill and the active
+		// matrix only shrinks. On the staircase bases this solver sees,
+		// peeling erases the bulk of the matrix before any candidate
+		// scan runs. Row-singleton pivots skip the relative-stability
+		// threshold (only the absolute floor applies): the elimination
+		// itself is exact, so an out-of-threshold multiplier costs solve
+		// accuracy far less than it would in a fill-producing pivot.
 		pr, pc, piv := int32(-1), int32(-1), 0.0
 		bestCost := math.MaxInt64 - 1
-		scanCol := func(j int32) bool {
-			// Two passes over the column's live entries: max magnitude
-			// for the stability threshold, then cost minimization.
-			stamp++
-			colMax := 0.0
-			for _, r := range colRows[j] {
-				if rowDone[r] || seen[r] == stamp {
+		if peel {
+			for len(s.colQ) > 0 {
+				j := s.colQ[len(s.colQ)-1]
+				s.colQ = s.colQ[:len(s.colQ)-1]
+				if s.colDone[j] || s.colCount[j] != 1 {
 					continue
 				}
-				seen[r] = stamp
-				if v, ok := rowGet(rowNz[r], j); ok {
-					if a := math.Abs(v); a > colMax {
-						colMax = a
+				rr := int32(-1)
+				v := 0.0
+				for _, r := range colRows[j] {
+					if rowDone[r] {
+						continue
+					}
+					if vv, ok := rowGet(rowNz[r], j); ok {
+						rr, v = r, vv
+						break
 					}
 				}
-			}
-			if colMax < luAbsPivotMin {
-				return false
-			}
-			thresh := markowitzTau * colMax
-			found := false
-			stamp++
-			for _, r := range colRows[j] {
-				if rowDone[r] || seen[r] == stamp {
-					continue
+				if rr < 0 || math.Abs(v) < luAbsPivotMin {
+					continue // stale or numerically unusable: leave to the search
 				}
-				seen[r] = stamp
-				v, ok := rowGet(rowNz[r], j)
-				if !ok || math.Abs(v) < thresh || math.Abs(v) < luAbsPivotMin {
-					continue
+				pr, pc, piv = rr, j, v
+				break
+			}
+			if pr < 0 {
+				for len(s.rowQ) > 0 {
+					r := s.rowQ[len(s.rowQ)-1]
+					s.rowQ = s.rowQ[:len(s.rowQ)-1]
+					if rowDone[r] || rowCount[r] != 1 {
+						continue
+					}
+					e := rowNz[r][0]
+					if math.Abs(e.val) < luAbsPivotMin {
+						continue
+					}
+					pr, pc, piv = r, e.pos, e.val
+					break
 				}
-				cost := (rowCount[r] - 1) * (colCount[j] - 1)
-				if cost < bestCost || (cost == bestCost && (j < pc || (j == pc && r < pr))) {
-					bestCost, pr, pc, piv = cost, r, j, v
-					found = true
-				}
-			}
-			return found
-		}
-
-		// Up to markowitzCandidates lowest-count active columns, ties to
-		// the lower position for determinism.
-		var cand [markowitzCandidates]int32
-		var candCount [markowitzCandidates]int
-		nc := 0
-		for j := 0; j < m; j++ {
-			if colDone[j] {
-				continue
-			}
-			c := colCount[j]
-			if c == 0 {
-				return refactorSingular // no fill can ever reach it
-			}
-			i := nc
-			if nc < markowitzCandidates {
-				nc++
-			} else if c >= candCount[nc-1] {
-				continue
-			} else {
-				i = nc - 1
-			}
-			for i > 0 && candCount[i-1] > c {
-				cand[i], candCount[i] = cand[i-1], candCount[i-1]
-				i--
-			}
-			cand[i], candCount[i] = int32(j), c
-		}
-		for i := 0; i < nc; i++ {
-			scanCol(cand[i])
-			if bestCost == 0 {
-				break // a singleton row or column cannot be beaten
 			}
 		}
 		if pr < 0 {
-			// None of the low-count candidates had a stable pivot; fall
-			// back to scanning every active column before declaring the
-			// basis singular.
-			for j := 0; j < m && bestCost > 0; j++ {
-				if !colDone[j] {
-					scanCol(int32(j))
+			scanCol := func(j int32) bool {
+				// Two passes over the column's live entries: max magnitude
+				// for the stability threshold, then cost minimization.
+				stamp++
+				colMax := 0.0
+				for _, r := range colRows[j] {
+					if rowDone[r] || seen[r] == stamp {
+						continue
+					}
+					seen[r] = stamp
+					if v, ok := rowGet(rowNz[r], j); ok {
+						if a := math.Abs(v); a > colMax {
+							colMax = a
+						}
+					}
+				}
+				if colMax < luAbsPivotMin {
+					return false
+				}
+				thresh := markowitzTau * colMax
+				found := false
+				stamp++
+				for _, r := range colRows[j] {
+					if rowDone[r] || seen[r] == stamp {
+						continue
+					}
+					seen[r] = stamp
+					v, ok := rowGet(rowNz[r], j)
+					if !ok || math.Abs(v) < thresh || math.Abs(v) < luAbsPivotMin {
+						continue
+					}
+					cost := (rowCount[r] - 1) * (colCount[j] - 1)
+					if cost < bestCost || (cost == bestCost && (j < pc || (j == pc && r < pr))) {
+						bestCost, pr, pc, piv = cost, r, j, v
+						found = true
+					}
+				}
+				return found
+			}
+
+			// The candidate buckets yield the same lowest-(count, position)
+			// columns the original full scan selected, in the same order, so
+			// the pivot sequence — and with it every downstream float — is
+			// unchanged.
+			var cand [markowitzCandidates]int32
+			nc, ok := s.candidates(&cand)
+			if !ok {
+				return refactorSingular // a live column no fill can ever reach
+			}
+			for i := 0; i < nc; i++ {
+				scanCol(cand[i])
+				if bestCost == 0 {
+					break // a singleton row or column cannot be beaten
 				}
 			}
 			if pr < 0 {
-				return refactorSingular
+				// None of the low-count candidates had a stable pivot; fall
+				// back to scanning every active column before declaring the
+				// basis singular.
+				for j := 0; j < m && bestCost > 0; j++ {
+					if !colDone[j] {
+						scanCol(int32(j))
+					}
+				}
+				if pr < 0 {
+					return refactorSingular
+				}
 			}
 		}
 
 		// Eliminate pivot (pr, pc).
 		permRow[k], permPos[k] = pr, pc
-		rowDone[pr], colDone[pc] = true, true
+		rowDone[pr] = true
+		s.retireCol(pc)
 		pivRow := rowNz[pr]
-		urow := make([]ment, 0, len(pivRow)-1)
+		uStart := len(uArena)
 		for _, e := range pivRow {
-			colCount[e.pos]--
+			if !colDone[e.pos] {
+				s.setColCount(e.pos, colCount[e.pos]-1)
+			}
 			if e.pos != pc {
-				urow = append(urow, e)
+				uArena = append(uArena, e)
 			}
 		}
-		urPos[k] = urow
+		urPos[k] = uArena[uStart:]
 		ud[k] = piv
 
-		var opnz []entry
+		opStart := len(opArena)
 		stamp++
 		for _, r32 := range colRows[pc] {
 			r := int(r32)
@@ -323,12 +742,11 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 				continue
 			}
 			mult := arpc / piv
-			opnz = append(opnz, entry{row: r, val: mult})
-			colCount[pc]--
+			opArena = append(opArena, entry{row: r, val: mult})
 			// Row combination: row r ← row r − mult·(pivot row), with the
 			// pivot column eliminated exactly. Scatter, saxpy, gather.
 			old := rowNz[r]
-			posList = posList[:0]
+			posList := s.posList[:0]
 			for _, e := range old {
 				if e.pos == pc {
 					continue
@@ -337,7 +755,7 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 				inWs[e.pos] = true
 				posList = append(posList, e.pos)
 			}
-			for _, e := range urow {
+			for _, e := range urPos[k] {
 				if inWs[e.pos] {
 					ws[e.pos] -= mult * e.val
 				} else {
@@ -345,7 +763,7 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 					inWs[e.pos] = true
 					posList = append(posList, e.pos)
 					colRows[e.pos] = append(colRows[e.pos], r32)
-					colCount[e.pos]++
+					s.setColCount(e.pos, colCount[e.pos]+1)
 				}
 			}
 			newRow := old[:0]
@@ -353,18 +771,25 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 				v := ws[pos]
 				inWs[pos] = false
 				if math.Abs(v) <= luDropTol {
-					colCount[pos]-- // cancelled to (numerical) zero
+					if !colDone[pos] {
+						// Cancelled to (numerical) zero.
+						s.setColCount(pos, colCount[pos]-1)
+					}
 					continue
 				}
 				newRow = append(newRow, ment{pos: pos, val: v})
 			}
+			s.posList = posList[:0]
 			rowNz[r] = newRow
 			rowCount[r] = len(newRow)
+			if peel && len(newRow) == 1 {
+				s.rowQ = append(s.rowQ, r32)
+			}
 		}
-		if len(opnz) > 0 {
-			lops = append(lops, lop{prow: pr, nz: opnz})
+		if len(opArena) > opStart {
+			lops = append(lops, lop{prow: pr, nz: opArena[opStart:]})
 		}
-		rowNz[pr] = nil
+		rowNz[pr] = rowNz[pr][:0]
 	}
 
 	// Remap U entries from basis positions to elimination steps: every
@@ -388,11 +813,73 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 		nnz += len(op.nz)
 	}
 
+	// Transposes for the sparsity-adaptive solves. Freshly allocated like
+	// the factorization they mirror (clones share both).
+	ucPtr := make([]int32, m+1)
+	for _, u := range ur {
+		for _, e := range u {
+			ucPtr[e.k+1]++
+		}
+	}
+	for k := 0; k < m; k++ {
+		ucPtr[k+1] += ucPtr[k]
+	}
+	ucIdx := make([]int32, ucPtr[m])
+	ucFill := make([]int32, m)
+	copy(ucFill, ucPtr[:m])
+	for k, u := range ur {
+		for _, e := range u {
+			ucIdx[ucFill[e.k]] = int32(k)
+			ucFill[e.k]++
+		}
+	}
+	lrPtr := make([]int32, m+1)
+	for li := range lops {
+		for _, nz := range lops[li].nz {
+			lrPtr[nz.row+1]++
+		}
+	}
+	for r := 0; r < m; r++ {
+		lrPtr[r+1] += lrPtr[r]
+	}
+	lrIdx := make([]int32, lrPtr[m])
+	lrFill := ucFill[:0]
+	lrFill = append(lrFill, lrPtr[:m]...)
+	for li := range lops {
+		for _, nz := range lops[li].nz {
+			lrIdx[lrFill[nz.row]] = int32(li)
+			lrFill[nz.row]++
+		}
+	}
+
+	stepOfRow := make([]int32, m)
+	for k, r := range permRow {
+		stepOfRow[r] = int32(k)
+	}
+	rowOp := make([]int32, m)
+	for r := range rowOp {
+		rowOp[r] = -1
+	}
+	for li := range lops {
+		rowOp[lops[li].prow] = int32(li)
+	}
+
 	f.lops = lops
 	f.ur = ur
 	f.ud = ud
 	f.permRow = permRow
 	f.permPos = permPos
+	f.posStep = posOfPos
+	f.stepOfRow = stepOfRow
+	f.rowOp = rowOp
+	f.ucPtr, f.ucIdx = ucPtr, ucIdx
+	f.lrPtr, f.lrIdx = lrPtr, lrIdx
+	if len(f.lmark) < len(lops) {
+		f.lmark = make([]bool, len(lops))
+	}
+	if len(f.omark) < len(lops) {
+		f.omark = make([]bool, len(lops))
+	}
 	f.etas = nil
 	f.etaNnz = 0
 	f.baseNnz = nnz
@@ -406,6 +893,15 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 
 // solveForward is the FTRAN core: x (row space, consumed) through L⁻¹, U
 // back-substitution, permutation to position space, then the eta file.
+//
+// The U back-substitution is rhs-sparsity-adaptive: step k's result can be
+// nonzero only when its own rhs entry is, or a later step it references
+// produced a nonzero (tracked through the transposed structure in
+// ucPtr/ucIdx). Skipped steps are exact zeros — the arithmetic for computed
+// steps runs the original inner loop in the original order, so the float
+// stream is unchanged. On simplex workloads the rhs is an entering column
+// with a handful of nonzeros and the reachable set is tiny; this is what
+// turns each pivot from O(m + nnz(U)) into O(m) flag work plus O(reached).
 func (f *luFactor) solveForward(x, out []float64) {
 	for li := range f.lops {
 		op := &f.lops[li]
@@ -417,12 +913,24 @@ func (f *luFactor) solveForward(x, out []float64) {
 		}
 	}
 	z := f.zwork
+	mk := f.umark
 	for k := f.m - 1; k >= 0; k-- {
 		v := x[f.permRow[k]]
+		if !mk[k] && v == 0 {
+			z[k] = 0
+			continue
+		}
+		mk[k] = false
 		for _, e := range f.ur[k] {
 			v -= e.val * z[e.k]
 		}
-		z[k] = v / f.ud[k]
+		t := v / f.ud[k]
+		z[k] = t
+		if t != 0 {
+			for _, c := range f.ucIdx[f.ucPtr[k]:f.ucPtr[k+1]] {
+				mk[c] = true
+			}
+		}
 	}
 	for k := 0; k < f.m; k++ {
 		out[f.permPos[k]] = z[k]
@@ -459,6 +967,14 @@ func (f *luFactor) ftranDense(x, out []float64) {
 // solveBackward is the BTRAN core: p (position space, consumed) through the
 // transposed eta file in reverse, Uᵀ forward solve, permutation to row
 // space, then the transposed elimination ops in reverse.
+//
+// The transposed elimination pass is rhs-sparsity-adaptive: an op only
+// changes out[op.prow] when one of the rows it reads is nonzero, so ops are
+// marked through the reader lists in lrPtr/lrIdx as nonzeros appear and
+// unmarked ops are skipped. A skipped op leaves its row's value bit-exactly
+// as the dense pass would (subtracting only exact zeros); marked ops run
+// the original loop in the original order, so the float stream is
+// unchanged.
 func (f *luFactor) solveBackward(p, out []float64) {
 	for ei := len(f.etas) - 1; ei >= 0; ei-- {
 		e := &f.etas[ei]
@@ -481,16 +997,36 @@ func (f *luFactor) solveBackward(p, out []float64) {
 			}
 		}
 	}
+	mk := f.lmark
 	for k := 0; k < f.m; k++ {
-		out[f.permRow[k]] = z[k]
+		v := z[k]
+		r := f.permRow[k]
+		out[r] = v
+		if v != 0 {
+			for _, li := range f.lrIdx[f.lrPtr[r]:f.lrPtr[r+1]] {
+				mk[li] = true
+			}
+		}
 	}
 	for li := len(f.lops) - 1; li >= 0; li-- {
 		op := &f.lops[li]
+		if !mk[li] {
+			continue
+		}
 		s := out[op.prow]
 		for _, nz := range op.nz {
 			s -= nz.val * out[nz.row]
 		}
 		out[op.prow] = s
+		if s != 0 {
+			pr := int(op.prow)
+			for _, lj := range f.lrIdx[f.lrPtr[pr]:f.lrPtr[pr+1]] {
+				mk[lj] = true
+			}
+		}
+	}
+	for li := range mk {
+		mk[li] = false
 	}
 }
 
@@ -532,6 +1068,392 @@ func (f *luFactor) update(r int, w []float64) {
 	}
 }
 
+// ftranColNz is the hyper-sparse FTRAN: out = B⁻¹·a for a sparse column a,
+// touching only the entries reachable from a's nonzeros through the
+// factorization's dependency graph. prev is the nonzero list the previous
+// call returned for this output buffer; its entries are zeroed first, which
+// with the all-zero initial state keeps out exactly-zero everywhere off the
+// returned list. The returned list is deduplicated (posMark) and unsorted.
+//
+// The three stages mirror solveForward. The L pass processes elimination ops
+// in ascending index order off a min-heap worklist — an op's scatter targets
+// are pivot rows of strictly later ops, so every dependency pops first and
+// the computed values match the dense pass's float stream on the reachable
+// set. The U back-substitution runs descending off a max-heap (step k's
+// dependents through ucIdx are strictly earlier steps). The eta pass cannot
+// be sparsified (every eta must be inspected) but skips the zero-input
+// writes the dense pass makes; skipped entries differ from the dense result
+// at most in the sign of a floating-point zero.
+func (f *luFactor) ftranColNz(col []entry, out []float64, prev []int32) []int32 {
+	f.ensureNzScratch()
+	for _, p := range prev {
+		out[p] = 0
+		f.posMark[p] = false
+	}
+	nz := prev[:0]
+
+	// L pass over the reachable ops.
+	x := f.sxw
+	xt := f.lstA[:0]
+	oh := f.heapA[:0]
+	for _, e := range col {
+		x[e.row] = e.val
+		xt = append(xt, int32(e.row))
+		if li := f.rowOp[e.row]; li >= 0 && !f.omark[li] {
+			f.omark[li] = true
+			oh = minPush32(oh, li)
+		}
+	}
+	opCut := nzCutoff(len(f.lops))
+	for len(oh) > 0 {
+		if len(oh) > opCut {
+			// Dense-degrade: sweep ascending from the smallest marked op;
+			// scatter targets are always later ops, so marks set mid-sweep
+			// are reached by the same sweep.
+			start := int(oh[0])
+			oh = oh[:0]
+			for li := start; li < len(f.lops); li++ {
+				if !f.omark[li] {
+					continue
+				}
+				f.omark[li] = false
+				op := &f.lops[li]
+				pv := x[op.prow]
+				if pv == 0 {
+					continue
+				}
+				for _, nzE := range op.nz {
+					if x[nzE.row] == 0 {
+						xt = append(xt, int32(nzE.row))
+					}
+					x[nzE.row] -= nzE.val * pv
+					if lj := f.rowOp[nzE.row]; lj >= 0 {
+						f.omark[lj] = true
+					}
+				}
+			}
+			break
+		}
+		var li int32
+		li, oh = minPop32(oh)
+		f.omark[li] = false
+		op := &f.lops[li]
+		pv := x[op.prow]
+		if pv == 0 {
+			continue
+		}
+		for _, nzE := range op.nz {
+			if x[nzE.row] == 0 {
+				xt = append(xt, int32(nzE.row))
+			}
+			x[nzE.row] -= nzE.val * pv
+			if lj := f.rowOp[nzE.row]; lj >= 0 && !f.omark[lj] {
+				f.omark[lj] = true
+				oh = minPush32(oh, lj)
+			}
+		}
+	}
+
+	// U back-substitution, descending over the reachable steps.
+	z := f.szw
+	zt := f.lstB[:0]
+	sh := f.heapB[:0]
+	for _, r := range xt {
+		if x[r] == 0 {
+			continue
+		}
+		if k := f.stepOfRow[r]; !f.smark[k] {
+			f.smark[k] = true
+			sh = maxPush32(sh, k)
+		}
+	}
+	stepCut := nzCutoff(f.m)
+	for len(sh) > 0 {
+		if len(sh) > stepCut {
+			// Dense-degrade: sweep descending from the largest marked step;
+			// back-substitution dependents are always earlier steps.
+			start := int(sh[0])
+			sh = sh[:0]
+			for k := start; k >= 0; k-- {
+				if !f.smark[k] {
+					continue
+				}
+				f.smark[k] = false
+				v := x[f.permRow[k]]
+				for _, e := range f.ur[k] {
+					v -= e.val * z[e.k]
+				}
+				t := v / f.ud[k]
+				z[k] = t
+				zt = append(zt, int32(k))
+				if t != 0 {
+					for _, c := range f.ucIdx[f.ucPtr[k]:f.ucPtr[k+1]] {
+						f.smark[c] = true
+					}
+				}
+			}
+			break
+		}
+		var k int32
+		k, sh = maxPop32(sh)
+		f.smark[k] = false
+		v := x[f.permRow[k]]
+		for _, e := range f.ur[k] {
+			v -= e.val * z[e.k]
+		}
+		t := v / f.ud[k]
+		z[k] = t
+		zt = append(zt, k)
+		if t != 0 {
+			for _, c := range f.ucIdx[f.ucPtr[k]:f.ucPtr[k+1]] {
+				if !f.smark[c] {
+					f.smark[c] = true
+					sh = maxPush32(sh, c)
+				}
+			}
+		}
+	}
+	for _, r := range xt {
+		x[r] = 0
+	}
+
+	// Permute to position space, then the eta file in order.
+	for _, k := range zt {
+		p := f.permPos[k]
+		out[p] = z[k]
+		z[k] = 0
+		f.posMark[p] = true
+		nz = append(nz, p)
+	}
+	for ei := range f.etas {
+		e := &f.etas[ei]
+		v := out[e.r]
+		if v == 0 {
+			continue
+		}
+		t := v / e.piv
+		out[e.r] = t
+		if t == 0 {
+			continue
+		}
+		for _, nzE := range e.nz {
+			if !f.posMark[nzE.row] {
+				f.posMark[nzE.row] = true
+				nz = append(nz, int32(nzE.row))
+			}
+			out[nzE.row] -= nzE.val * t
+		}
+	}
+
+	f.lstA, f.lstB = xt[:0], zt[:0]
+	f.heapA, f.heapB = oh, sh
+	return nz
+}
+
+// btranUnitNz is the hyper-sparse BTRAN of a unit vector: out = eᵣᵀB⁻¹, the
+// tableau row the dual updates and dual ratio tests consume. Same contract
+// as ftranColNz: prev is zeroed first, the returned row list is deduplicated
+// (rmark) and unsorted, and everything off it is exactly zero.
+//
+// Mirrors solveBackward: the eta file applies in reverse (dense over etas,
+// sparse in the vector), the Uᵀ forward solve runs ascending off a min-heap
+// (step k scatters into strictly later steps), and the transposed L pass
+// runs descending off a max-heap (the ops reading a pivot row have strictly
+// smaller indices than the op that produced it).
+func (f *luFactor) btranUnitNz(r int, out []float64, prev []int32) []int32 {
+	f.ensureNzScratch()
+	for _, p := range prev {
+		out[p] = 0
+		f.rmark[p] = false
+	}
+	nz := prev[:0]
+
+	// Transposed eta pass, newest first.
+	p := f.sxw
+	p[r] = 1
+	f.pmark[r] = true
+	pnz := append(f.lstA[:0], int32(r))
+	for ei := len(f.etas) - 1; ei >= 0; ei-- {
+		e := &f.etas[ei]
+		s := p[e.r]
+		for _, nzE := range e.nz {
+			s -= nzE.val * p[nzE.row]
+		}
+		if s == 0 && p[e.r] == 0 {
+			continue
+		}
+		p[e.r] = s / e.piv
+		if !f.pmark[e.r] {
+			f.pmark[e.r] = true
+			pnz = append(pnz, e.r)
+		}
+	}
+
+	// Gather to elimination order and solve Uᵀ ascending.
+	z := f.szw
+	sh := f.heapB[:0]
+	for _, pos := range pnz {
+		f.pmark[pos] = false
+		v := p[pos]
+		p[pos] = 0
+		if v == 0 {
+			continue
+		}
+		k := f.posStep[pos]
+		f.smark[k] = true
+		z[k] = v
+		sh = minPush32(sh, k)
+	}
+	zt := f.lstB[:0]
+	stepCut := nzCutoff(f.m)
+	for len(sh) > 0 {
+		if len(sh) > stepCut {
+			// Dense-degrade: sweep ascending from the smallest marked step;
+			// Uᵀ scatters only into later steps.
+			start := int(sh[0])
+			sh = sh[:0]
+			for k := start; k < f.m; k++ {
+				if !f.smark[k] {
+					continue
+				}
+				f.smark[k] = false
+				t := z[k] / f.ud[k]
+				z[k] = t
+				zt = append(zt, int32(k))
+				if t != 0 {
+					for _, e := range f.ur[k] {
+						f.smark[e.k] = true
+						z[e.k] -= e.val * t
+					}
+				}
+			}
+			break
+		}
+		var k int32
+		k, sh = minPop32(sh)
+		f.smark[k] = false
+		t := z[k] / f.ud[k]
+		z[k] = t
+		zt = append(zt, k)
+		if t != 0 {
+			for _, e := range f.ur[k] {
+				if !f.smark[e.k] {
+					f.smark[e.k] = true
+					sh = minPush32(sh, e.k)
+				}
+				z[e.k] -= e.val * t
+			}
+		}
+	}
+
+	// Permute to row space and run the reachable transposed L ops.
+	oh := f.heapA[:0]
+	for _, k := range zt {
+		rr := f.permRow[k]
+		v := z[k]
+		z[k] = 0
+		out[rr] = v
+		f.rmark[rr] = true
+		nz = append(nz, rr)
+		if v != 0 {
+			for _, li := range f.lrIdx[f.lrPtr[rr]:f.lrPtr[rr+1]] {
+				if !f.omark[li] {
+					f.omark[li] = true
+					oh = maxPush32(oh, li)
+				}
+			}
+		}
+	}
+	opCut := nzCutoff(len(f.lops))
+	for len(oh) > 0 {
+		if len(oh) > opCut {
+			// Dense-degrade: sweep descending from the largest marked op;
+			// the ops reading a pivot row are always earlier in the file.
+			start := int(oh[0])
+			oh = oh[:0]
+			for li := start; li >= 0; li-- {
+				if !f.omark[li] {
+					continue
+				}
+				f.omark[li] = false
+				op := &f.lops[li]
+				s := out[op.prow]
+				for _, nzE := range op.nz {
+					s -= nzE.val * out[nzE.row]
+				}
+				pr := op.prow
+				out[pr] = s
+				if !f.rmark[pr] {
+					f.rmark[pr] = true
+					nz = append(nz, pr)
+				}
+				if s != 0 {
+					for _, lj := range f.lrIdx[f.lrPtr[pr]:f.lrPtr[pr+1]] {
+						f.omark[lj] = true
+					}
+				}
+			}
+			break
+		}
+		var li int32
+		li, oh = maxPop32(oh)
+		f.omark[li] = false
+		op := &f.lops[li]
+		s := out[op.prow]
+		for _, nzE := range op.nz {
+			s -= nzE.val * out[nzE.row]
+		}
+		pr := op.prow
+		out[pr] = s
+		if !f.rmark[pr] {
+			f.rmark[pr] = true
+			nz = append(nz, pr)
+		}
+		if s != 0 {
+			for _, lj := range f.lrIdx[f.lrPtr[pr]:f.lrPtr[pr+1]] {
+				if !f.omark[lj] {
+					f.omark[lj] = true
+					oh = maxPush32(oh, lj)
+				}
+			}
+		}
+	}
+
+	f.lstA, f.lstB = pnz[:0], zt[:0]
+	f.heapA, f.heapB = oh, sh
+	return nz
+}
+
+// updateNz is update with the tableau column's nonzero list supplied, so
+// building the eta costs O(nnz) instead of an O(m) scan. The eta inherits
+// the list's order; eta entries only ever feed independent scatter writes
+// and deterministic-order gather sums, so no particular order is required.
+func (f *luFactor) updateNz(r int, w []float64, wnz []int32) {
+	piv := w[r]
+	maxAbs := math.Abs(piv)
+	nz := make([]entry, 0, len(wnz))
+	for _, i32 := range wnz {
+		i := int(i32)
+		if i == r {
+			continue
+		}
+		v := w[i]
+		a := math.Abs(v)
+		if a <= etaDropTol {
+			continue
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+		nz = append(nz, entry{row: i, val: v})
+	}
+	f.etas = append(f.etas, eta{r: int32(r), piv: piv, nz: nz})
+	f.etaNnz += len(nz) + 1
+	if math.Abs(piv) < etaDriftTol*maxAbs {
+		f.drift = true
+	}
+}
+
 // clone deep-snapshots the representation. The factorization slices are
 // immutable after refactorize/reset (both allocate fresh arrays), so they
 // are shared; the eta file gets a fresh backing array because the live
@@ -539,17 +1461,26 @@ func (f *luFactor) update(r int, w []float64) {
 // write-once. Scratch buffers are never shared.
 func (f *luFactor) clone() factor {
 	return &luFactor{
-		m:       f.m,
-		lops:    f.lops,
-		ur:      f.ur,
-		ud:      f.ud,
-		permRow: f.permRow,
-		permPos: f.permPos,
+		m:         f.m,
+		lops:      f.lops,
+		ur:        f.ur,
+		ud:        f.ud,
+		permRow:   f.permRow,
+		permPos:   f.permPos,
+		posStep:   f.posStep,
+		stepOfRow: f.stepOfRow,
+		rowOp:     f.rowOp,
+		ucPtr:     f.ucPtr,
+		ucIdx:     f.ucIdx,
+		lrPtr:     f.lrPtr,
+		lrIdx:     f.lrIdx,
 		etas:    append([]eta(nil), f.etas...),
 		etaNnz:  f.etaNnz,
 		baseNnz: f.baseNnz,
 		drift:   f.drift,
 		xwork:   make([]float64, f.m),
 		zwork:   make([]float64, f.m),
+		umark:   make([]bool, f.m),
+		lmark:   make([]bool, len(f.lops)),
 	}
 }

@@ -67,6 +67,17 @@ type Model struct {
 	rows   [][]Term
 	senses []Sense
 	rhs    []float64
+
+	// std caches the standardized form across Solve calls. Structural
+	// edits (AddVar, AddConstraint) clear it; data edits (SetObj, SetRHS,
+	// SetBounds) keep it and Solve re-derives the data-dependent parts in
+	// place — see refreshStandard. The cache is what makes the retained-
+	// model resolve path allocation-free on the standardization side.
+	std *standard
+
+	// pre caches the presolve recipe and reduced model across Solve calls
+	// with Options.Presolve set (see presolve.go).
+	pre *presolveState
 }
 
 // NewModel returns an empty minimization model. Call SetMaximize to flip
@@ -88,6 +99,7 @@ func (m *Model) AddVar(lo, up, obj float64, name string) Var {
 	m.lo = append(m.lo, lo)
 	m.up = append(m.up, up)
 	m.names = append(m.names, name)
+	m.std = nil
 	return Var(len(m.obj) - 1)
 }
 
@@ -107,6 +119,19 @@ func (m *Model) SetObj(v Var, obj float64) { m.obj[v] = obj }
 // exactly the case warm starts (Options.WarmBasis) accelerate.
 func (m *Model) SetRHS(r Row, rhs float64) { m.rhs[r] = rhs }
 
+// SetBounds overwrites the bounds of v. Like SetRHS/SetObj it is a data
+// edit: the cached standardization is patched, not rebuilt, as long as the
+// bound pattern keeps the variable in the same standardization branch (a
+// finite lower bound staying finite, etc.). It panics if lo > up, matching
+// AddVar.
+func (m *Model) SetBounds(v Var, lo, up float64) {
+	if lo > up {
+		panic(fmt.Sprintf("lp: variable %q has lo %v > up %v", m.names[v], lo, up))
+	}
+	m.lo[v] = lo
+	m.up[v] = up
+}
+
 // VarName returns the diagnostic name of v.
 func (m *Model) VarName(v Var) string { return m.names[v] }
 
@@ -121,6 +146,7 @@ func (m *Model) AddConstraint(sense Sense, rhs float64, terms ...Term) Row {
 	m.rows = append(m.rows, merged)
 	m.senses = append(m.senses, sense)
 	m.rhs = append(m.rhs, rhs)
+	m.std = nil
 	return Row(len(m.rows) - 1)
 }
 
@@ -370,6 +396,15 @@ type Options struct {
 	// refactorizations, budget hits, warm-start uses) across Solve calls.
 	// The pointer is read once per solve; it adds no per-pivot cost.
 	Stats *SolveStats
+	// Presolve runs a model-reduction pass before the simplex (drop empty
+	// and redundant rows, fix equal-bound and dominated variables, turn
+	// singleton rows into bounds) and maps the reduced solution back to the
+	// full model — primal, duals, and reduced costs included, so PC prices
+	// survive the reduction. Warm bases captured under Presolve refer to
+	// the reduced model and keep working across re-solves as long as the
+	// reduction pattern is stable; a pattern change falls back to a cold
+	// start. Off by default: the unreduced path stays byte-identical.
+	Presolve bool
 }
 
 // withDefaults normalizes the options against a standardized problem of n
@@ -393,10 +428,14 @@ func (o Options) withDefaults(n, m int) Options {
 	return o
 }
 
-// Solve optimizes the model and returns the solution. The model itself is
-// not modified, so it can be re-solved after edits.
+// Solve optimizes the model and returns the solution. The model's LP data
+// is not modified (Solve only refreshes internal caches), so it can be
+// re-solved after edits.
 func (m *Model) Solve(opts Options) (*Solution, error) {
-	std, err := m.standardize()
+	if opts.Presolve {
+		return m.solvePresolved(opts)
+	}
+	std, err := m.standardized()
 	if err != nil {
 		return nil, err
 	}

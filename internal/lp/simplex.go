@@ -37,6 +37,79 @@ type standard struct {
 	rowSign []float64 // +1, or -1 if the row was negated to make b >= 0
 }
 
+// standardized returns the model's standardized form, reusing the cached
+// one when only data (objective, rhs, bounds) changed since it was built.
+// The refresh recomputes every data-dependent float with the exact same
+// expressions standardize uses, so a patched form is bit-identical to a
+// freshly built one — re-solves through the cache reproduce the uncached
+// pivot sequence byte for byte.
+func (m *Model) standardized() (*standard, error) {
+	if m.std != nil && m.refreshStandard(m.std) {
+		return m.std, nil
+	}
+	std, err := m.standardize()
+	if err != nil {
+		return nil, err
+	}
+	m.std = std
+	return std, nil
+}
+
+// refreshStandard re-derives the data-dependent parts (costs, upper
+// bounds, shifts, rhs) of a cached standardization in place, without
+// allocating. It reports false when an edit invalidated the cached
+// structure — a variable's bound pattern switched standardization branches
+// (e.g. a finite lower bound became -Inf), or a row's rhs normalization
+// sign flipped — in which case the caller must rebuild from scratch.
+// Matrix entries, column layout, and the artificial pattern are untouched,
+// so warm-basis signatures keep matching across refreshes.
+func (m *Model) refreshStandard(s *standard) bool {
+	objSign := 1.0
+	if m.maximize {
+		objSign = -1
+	}
+	for j := 0; j < len(m.obj); j++ {
+		lo, up, c := m.lo[j], m.up[j], objSign*m.obj[j]
+		col := s.colOf[j]
+		switch {
+		case s.negCol[j] >= 0: // built as a free split
+			if !math.IsInf(lo, -1) || !math.IsInf(up, 1) {
+				return false
+			}
+			s.c[col] = c
+			s.c[s.negCol[j]] = -c
+		case s.sign[j] == 1: // built as x = lo + x'
+			if math.IsInf(lo, -1) {
+				return false
+			}
+			s.shift[j] = lo
+			s.up[col] = up - lo
+			s.c[col] = c
+		default: // built as x = up - x'
+			if !math.IsInf(lo, -1) || math.IsInf(up, 1) {
+				return false
+			}
+			s.shift[j] = up
+			s.c[col] = -c
+		}
+	}
+	for i := range m.rows {
+		rhs := m.rhs[i]
+		for _, t := range m.rows[i] {
+			rhs -= t.Coef * s.shift[t.Var]
+		}
+		want := 1.0
+		if rhs < 0 {
+			want = -1
+		}
+		if want != s.rowSign[i] {
+			return false
+		}
+		s.b[i] = want * rhs
+	}
+	return true
+}
+
 // standardize converts the model into computational form.
 func (m *Model) standardize() (*standard, error) {
 	nv := m.NumVars()
@@ -214,6 +287,9 @@ type state struct {
 	wBuf          []float64 // scratch: B⁻¹·A_q, reused every pivot
 	yBuf          []float64 // scratch: duals, reused across refactors
 	rhoBuf        []float64 // scratch: a row of B⁻¹ (dual updates, ratio tests)
+	wNz           []int32   // nonzero positions of wBuf (hyper-sparse mode)
+	rhoNz         []int32   // nonzero rows of rhoBuf (hyper-sparse mode)
+	useNz         bool      // hyper-sparse pivot vectors (large models only)
 	cbBuf         []float64 // scratch: basic costs / right-hand sides
 	cand          []int     // partial-pricing candidate list
 	cursor        int       // partial-pricing scan position
@@ -226,6 +302,9 @@ type state struct {
 	// value = unlimited), checked between pivots and inside
 	// refactorizations.
 	deadline time.Time
+	// bOrig holds the standardization's pristine right-hand side while the
+	// staged start's perturbed copy is swapped into std.b (nil otherwise).
+	bOrig []float64
 }
 
 // timedOut reports whether the wall-clock budget has expired. The check
@@ -235,6 +314,10 @@ func (st *state) timedOut() bool {
 }
 
 const defaultRefactorEvery = 512
+
+// nzRefactorEvery replaces the default cadence on hyper-sparse models (the
+// caller can still force any cadence through Options.RefactorEvery).
+const nzRefactorEvery = 256
 
 // solve runs phase 1 then phase 2 and extracts primal and dual values.
 // With a usable Options.WarmBasis, phase 1 is skipped entirely and phase 2
@@ -259,7 +342,19 @@ func (std *standard) solve(opts Options) result {
 	if opts.TimeBudget > 0 {
 		st.deadline = time.Now().Add(opts.TimeBudget)
 	}
+	st.useNz = m >= nzVectorMinRows
+	if st.useNz && st.refactorEvery == defaultRefactorEvery {
+		// At hyper-sparse scale the product-form eta file, not the
+		// refactorization, is the dominant per-pivot cost (every BTRAN/FTRAN
+		// walks the whole file), and singleton peeling makes refactorization
+		// cheap; a much shorter cadence is the better trade.
+		st.refactorEvery = nzRefactorEvery
+	}
 	st.fac.reset(m)
+	// The staged start may swap a perturbed right-hand side into the cached
+	// standardization; whatever path the solve exits through, the pristine
+	// slice goes back so later solves start from unperturbed data.
+	defer st.restoreB()
 
 	warm := false
 	if opts.WarmBasis.matches(std) {
@@ -287,46 +382,51 @@ func (std *standard) solve(opts Options) result {
 			}
 		}
 	} else {
-		// Cold start from the slack/artificial basis (which is exactly the
-		// identity matrix). A failed warm install leaves the state dirty,
-		// so reset everything.
-		copy(st.basis, std.basisInit)
-		for j := range st.basePos {
-			st.basePos[j] = 0
-		}
-		for j := range st.atUpper {
-			st.atUpper[j] = false
-		}
-		st.fac.reset(m)
-		copy(st.xB, std.b)
-		for i, j := range st.basis {
-			st.basePos[j] = i + 1
-		}
+		st.coldInit()
 
-		// Phase 1: minimize the sum of artificial values.
-		needPhase1 := false
-		c1 := make([]float64, std.n)
-		for j, isArt := range std.art {
-			if isArt {
-				c1[j] = 1
-				needPhase1 = true
+		// Phase 1: make the basis primal feasible. Large LPs take the
+		// staged route (relax the infeasible rows, optimize the real
+		// objective, repair with the dual simplex); if it declines or
+		// fails, and always on small LPs, the classic artificial-cost
+		// phase 1 decides feasibility.
+		staged := false
+		if m >= stagedStartMinRows {
+			switch st.stagedStart() {
+			case stagedDone:
+				staged = true
+			case stagedTimeout:
+				return result{status: TimeLimit, iters: st.iters, refactors: st.refactors}
+			case stagedFallback:
+				st.restoreB()
+				st.coldInit()
 			}
 		}
-		if needPhase1 {
-			status := st.optimize(c1, false)
-			if status == IterLimit || status == TimeLimit {
-				return result{status: status, iters: st.iters, refactors: st.refactors}
-			}
-			infeas := 0.0
-			for i, j := range st.basis {
-				if std.art[j] {
-					infeas += st.xB[i]
+		if !staged {
+			// Classic phase 1: minimize the sum of artificial values.
+			needPhase1 := false
+			c1 := make([]float64, std.n)
+			for j, isArt := range std.art {
+				if isArt {
+					c1[j] = 1
+					needPhase1 = true
 				}
 			}
-			if infeas > 1e-7 {
-				return result{status: Infeasible, iters: st.iters, refactors: st.refactors, basis: st.capture()}
+			if needPhase1 {
+				status := st.optimize(c1, false)
+				if status == IterLimit || status == TimeLimit {
+					return result{status: status, iters: st.iters, refactors: st.refactors}
+				}
+				infeas := 0.0
+				for i, j := range st.basis {
+					if std.art[j] {
+						infeas += st.xB[i]
+					}
+				}
+				if infeas > 1e-7 {
+					return result{status: Infeasible, iters: st.iters, refactors: st.refactors, basis: st.capture()}
+				}
+				st.expelArtificials()
 			}
-			st.expelArtificials()
 		}
 	}
 
@@ -358,6 +458,168 @@ func (std *standard) solve(opts Options) result {
 	return res
 }
 
+// coldInit resets the state to the slack/artificial identity basis. It is
+// also the recovery path after a failed warm install or staged start, both
+// of which leave the state dirty.
+func (st *state) coldInit() {
+	std := st.std
+	copy(st.basis, std.basisInit)
+	for j := range st.basePos {
+		st.basePos[j] = 0
+	}
+	for j := range st.atUpper {
+		st.atUpper[j] = false
+	}
+	st.fac.reset(std.m)
+	copy(st.xB, std.b)
+	for i, j := range st.basis {
+		st.basePos[j] = i + 1
+	}
+}
+
+// stagedStartMinRows gates the staged cold start. Below it the classic
+// artificial-cost phase 1 is cheap and its pivot sequence is part of the
+// golden-trace contract; above it phase 1 degenerates badly on the
+// equality-heavy staircase LPs this solver targets — nearly every pivot is
+// degenerate and the infeasibility creeps down over tens of thousands of
+// iterations — so the staged route wins by orders of magnitude.
+const stagedStartMinRows = 4096
+
+type stagedOutcome int
+
+const (
+	// stagedDone: the basis is primal feasible and phase-2 optimal work has
+	// already happened; proceed straight to the final phase 2.
+	stagedDone stagedOutcome = iota
+	// stagedFallback: the staged route could not certify feasibility
+	// (numerics, unboundedness of the relaxation, or a failed dual
+	// cleanup). The state is dirty; re-init and run classic phase 1.
+	stagedFallback
+	// stagedTimeout: the time or iteration budget expired mid-stage.
+	stagedTimeout
+)
+
+// stagedPerturb scales the staged start's deterministic right-hand-side
+// perturbation and artificial-cap headroom. It sits in the gap between the
+// pivot tolerance (1e-9: perturbed ratio-test steps register as
+// nondegenerate, so the stall counter resets and Bland's rule stays off)
+// and the primal feasibility tolerance (warmFeasTol, 1e-7: the residue the
+// perturbation leaves behind is below what any feasibility check — the
+// dual cleanup's included — can see).
+const stagedPerturb = 1e-8
+
+// perturbB replaces std.b with a deterministically perturbed copy
+// (b_i + stagedPerturb·u_i, u_i ∈ [1,2) from a per-row hash), parking the
+// pristine slice in st.bOrig; restoreB undoes the swap. The perturbation
+// splits the massively degenerate vertices these staircase LPs start from:
+// nearly every ratio-test step becomes strictly positive, which keeps the
+// stall counter quiet and lets real pricing run instead of Bland's rule.
+// The solve's result is the perturbed problem's optimum — feasible for the
+// original data to within stagedPerturb·2, far inside every tolerance in
+// the stack — and the perturbation is not undone mid-solve; captured bases
+// reinstall against the pristine b, where the residue lands below
+// warmFeasTol and vanishes in the install clamp.
+func (st *state) perturbB() {
+	if st.bOrig != nil {
+		return
+	}
+	std := st.std
+	st.bOrig = std.b
+	bp := make([]float64, len(std.b))
+	h := uint64(0x9E3779B97F4A7C15)
+	for i, v := range std.b {
+		h ^= uint64(i)*0xBF58476D1CE4E5B9 + (h << 13) + (h >> 7)
+		u := 1 + float64(h>>40)/float64(1<<24) // deterministic, in [1, 2)
+		bp[i] = v + stagedPerturb*u
+	}
+	std.b = bp
+}
+
+// restoreB swaps the pristine right-hand side back in (no-op when no
+// perturbation is active). The cached standardization must never leak a
+// perturbed b into a later solve, which would compound the perturbation.
+func (st *state) restoreB() {
+	if st.bOrig != nil {
+		st.std.b = st.bOrig
+		st.bOrig = nil
+	}
+}
+
+// stagedStart replaces the artificial-cost phase 1 on large LPs. The slack/
+// artificial basis is infeasible only on rows whose artificial starts at a
+// positive value (GE/EQ rows with positive normalized rhs). Stage A keeps
+// every basic artificial basic but caps it just above its starting value —
+// an honest relaxation of the violated rows, with enough headroom that
+// pivots through the row are nondegenerate — and optimizes the *real*
+// objective, so no work is wasted on a throwaway phase-1 cost. Stage B
+// restores the caps (artificials must return to zero, up to tolerance) and
+// lets the bounded-variable dual simplex repair primal feasibility,
+// exactly as a warm start repairs an RHS change. The artificial upper
+// bounds live in std.up only between the two stages and are always
+// restored to +Inf before returning, so the cached standardization stays
+// clean.
+func (st *state) stagedStart() stagedOutcome {
+	std := st.std
+	st.perturbB()
+	copy(st.xB, std.b)
+	relaxed := make([]int, 0, 256)
+	h := uint64(0x2545F4914F6CDD1D)
+	for i, j := range st.basis {
+		if std.art[j] && st.xB[i] > 0 {
+			h ^= uint64(i)*0xBF58476D1CE4E5B9 + (h << 13) + (h >> 7)
+			u := 1 + float64(h>>40)/float64(1<<24)
+			std.up[j] = st.xB[i] + stagedPerturb*u
+			relaxed = append(relaxed, j)
+		}
+	}
+	restore := func() {
+		for _, j := range relaxed {
+			std.up[j] = Inf
+		}
+	}
+	if len(relaxed) > 0 {
+		// Stage A: optimize the relaxation. Artificials never enter the
+		// basis (skipArt), and the ones already basic are held inside
+		// [0, start+headroom] by their temporary bounds.
+		switch st.optimize(std.c, true) {
+		case Optimal:
+		case TimeLimit, IterLimit:
+			restore()
+			return stagedTimeout
+		default:
+			restore()
+			return stagedFallback
+		}
+		// Stage B: pull the relaxation out. A relaxed artificial that went
+		// nonbasic-at-upper rests at a positive value; flipping it to the
+		// lower bound (zero) re-tightens its row, and the recompute folds
+		// that into xB. Basic relaxed artificials above tolerance become
+		// primal infeasibilities for the dual cleanup to drive out — on
+		// rows that were only infeasible by the perturbation there is
+		// nothing visible to repair, so the cleanup's work is proportional
+		// to the genuinely violated rows.
+		restore()
+		for _, j := range relaxed {
+			if st.atUpper[j] {
+				st.atUpper[j] = false
+			}
+		}
+		st.recomputeXB()
+		if !st.dualCleanup() {
+			if st.timedOut() || st.iters >= st.maxIter {
+				return stagedTimeout
+			}
+			return stagedFallback
+		}
+	}
+	// Feasible (possibly from the start). Basic artificials remain at zero:
+	// they are excluded from pricing, and the ratio test holds every basic
+	// artificial to an effective upper bound of zero, so — unlike
+	// expelArtificials, which is quadratic and unaffordable at this scale —
+	// leaving them in place is safe.
+	return stagedDone
+}
+
 // duals computes y = c_B·B⁻¹ via BTRAN into the reusable scratch buffer.
 func (st *state) duals(costs []float64) []float64 {
 	for i, j := range st.basis {
@@ -371,6 +633,10 @@ func (st *state) duals(costs []float64) []float64 {
 // (valid until the next rowOfInverse call; wBuf is independent, so a
 // tableau column and a rho row can coexist).
 func (st *state) rowOfInverse(r int) []float64 {
+	if st.useNz {
+		st.rhoNz = st.fac.btranUnitNz(r, st.rhoBuf, st.rhoNz)
+		return st.rhoBuf
+	}
 	st.fac.btranUnit(r, st.rhoBuf)
 	return st.rhoBuf
 }
@@ -409,9 +675,25 @@ func (st *state) expelArtificials() {
 	}
 }
 
+// nzVectorMinRows gates the hyper-sparse pivot vectors (nonzero-list FTRAN/
+// BTRAN and list-driven pivot loops). Below it the dense loops are cheap and
+// their float stream — including the sign of zeros the sparse path never
+// writes — is pinned by the golden-trace suite; above it the per-pivot cost
+// of the dense passes (several O(m) sweeps each) dominates the solve.
+const nzVectorMinRows = 4096
+
 // ftranCol returns w = B⁻¹·A_q in the reusable scratch buffer (valid until
-// the next call; every pivot consumes it immediately).
+// the next call; every pivot consumes it immediately). In hyper-sparse mode
+// it also refreshes st.wNz. The list's order is whatever the solve's
+// worklists produced — deterministic for a given model and basis, which is
+// all the list-driven loops need (sorting it measurably dominated the
+// per-pivot cost and buys nothing: ratio-test ties and eta summation order
+// only have to be reproducible, not ascending).
 func (st *state) ftranCol(q int) []float64 {
+	if st.useNz {
+		st.wNz = st.fac.ftranColNz(st.std.cols[q], st.wBuf, st.wNz)
+		return st.wBuf
+	}
 	st.fac.ftranCol(st.std.cols[q], st.wBuf)
 	return st.wBuf
 }
@@ -419,7 +701,11 @@ func (st *state) ftranCol(q int) []float64 {
 // applyPivot performs the product-form basis update for entering column q
 // at row r with tableau column w, and fixes the bookkeeping arrays.
 func (st *state) applyPivot(q, r int, w []float64) {
-	st.fac.update(r, w)
+	if st.useNz {
+		st.fac.updateNz(r, w, st.wNz)
+	} else {
+		st.fac.update(r, w)
+	}
 	leaving := st.basis[r]
 	st.basePos[leaving] = 0
 	st.basis[r] = q
@@ -509,7 +795,16 @@ func (st *state) pricePartial(costs, y []float64, skipArt bool) (q int, fromUppe
 	if q >= 0 {
 		return q, fromUpper, qD
 	}
-	const candCap = 32
+	// Candidate-list sizing. Large (hyper-sparse) models keep a much deeper
+	// list: refills there cost a scan of tens of thousands of columns, and a
+	// deep list keeps pricing quality close to full Dantzig between refills,
+	// which on the paper-scale staircase LPs cuts total pivots by a large
+	// factor. Small models keep the original shallow list — their pivot
+	// sequences are pinned by the golden-trace suite.
+	candCap := 32
+	if st.useNz {
+		candCap = 256
+	}
 	chunk := std.n / 8
 	if chunk < 64 {
 		chunk = 64
@@ -717,9 +1012,7 @@ func (st *state) dualCleanup() bool {
 			}
 			t = 0
 		}
-		for i := 0; i < m; i++ {
-			st.xB[i] -= t * sigma * w[i]
-		}
+		st.stepXB(t, sigma, w)
 		enterVal := t
 		if st.atUpper[q] {
 			enterVal = std.up[q] - t
@@ -780,6 +1073,15 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 			q, qFromUpper, qD = st.priceDantzig(costs, y, skipArt)
 		}
 		if q < 0 {
+			if st.useNz {
+				// The per-pivot clamp only visits touched rows; sweep the
+				// rest before reporting the solution.
+				for i := 0; i < m; i++ {
+					if st.xB[i] < 0 && st.xB[i] > -1e-7 {
+						st.xB[i] = 0
+					}
+				}
+			}
 			return Optimal
 		}
 
@@ -790,12 +1092,14 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 		}
 		w := st.ftranCol(q)
 
-		// Ratio test. Basic i changes at rate -sigma*w[i] per unit t.
+		// Ratio test. Basic i changes at rate -sigma*w[i] per unit t. In
+		// hyper-sparse mode only w's nonzero rows can limit the step,
+		// visited in wNz's (deterministic) order.
 		tMax := std.up[q] // bound-flip limit (up - lo, lo = 0)
 		leave := -1
 		leaveToUpper := false
 		pivTol := 1e-9
-		for i := 0; i < m; i++ {
+		ratioStep := func(i int) {
 			r := sigma * w[i]
 			jb := st.basis[i]
 			if r > pivTol {
@@ -808,8 +1112,20 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 				} else if bland && lim <= tMax+1e-12 && leave >= 0 && st.basis[i] < st.basis[leave] {
 					tMax, leave, leaveToUpper = math.Min(tMax, lim), i, false
 				}
-			} else if r < -pivTol && !math.IsInf(std.up[jb], 1) {
-				lim := (std.up[jb] - st.xB[i]) / (-r)
+				return
+			}
+			// A basic artificial is held to an upper bound of zero once
+			// artificials are locked out of pricing (the staged start's
+			// temporary relaxation shows up here as a finite std.up cap
+			// instead). On rows whose artificial survived phase 1 +
+			// expulsion this never fires — those rows are linearly
+			// dependent, so w[i] is identically zero.
+			ub := std.up[jb]
+			if skipArt && std.art[jb] && math.IsInf(ub, 1) {
+				ub = 0
+			}
+			if r < -pivTol && !math.IsInf(ub, 1) {
+				lim := (ub - st.xB[i]) / (-r)
 				if lim < 0 {
 					lim = 0
 				}
@@ -818,6 +1134,15 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 				} else if bland && lim <= tMax+1e-12 && leave >= 0 && st.basis[i] < st.basis[leave] {
 					tMax, leave, leaveToUpper = math.Min(tMax, lim), i, true
 				}
+			}
+		}
+		if st.useNz {
+			for _, i32 := range st.wNz {
+				ratioStep(int(i32))
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				ratioStep(i)
 			}
 		}
 		if math.IsInf(tMax, 1) && leave < 0 {
@@ -832,9 +1157,7 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 
 		if leave < 0 {
 			// Bound flip: entering crosses its own span.
-			for i := 0; i < m; i++ {
-				st.xB[i] -= tMax * sigma * w[i]
-			}
+			st.stepXB(tMax, sigma, w)
 			st.atUpper[q] = !st.atUpper[q]
 			continue
 		}
@@ -844,26 +1167,59 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 		if qFromUpper {
 			enterVal = std.up[q] - tMax
 		}
-		for i := 0; i < m; i++ {
-			st.xB[i] -= tMax * sigma * w[i]
-		}
+		st.stepXB(tMax, sigma, w)
 		// Dual update before the representation changes: y += (d_q/w_r)·ρ_r
 		// with ρ_r the leaving row of the *old* inverse (one BTRAN on the
 		// sparse kernel, a row read on the dense one).
 		theta := qD / w[leave]
 		rho := st.rowOfInverse(leave)
-		for k := 0; k < m; k++ {
-			y[k] += theta * rho[k]
+		if st.useNz {
+			for _, k := range st.rhoNz {
+				y[k] += theta * rho[k]
+			}
+		} else {
+			for k := 0; k < m; k++ {
+				y[k] += theta * rho[k]
+			}
 		}
 		leavingCol := st.basis[leave]
 		st.applyPivot(q, leave, w)
 		st.xB[leave] = enterVal
-		st.atUpper[leavingCol] = leaveToUpper
-		// Clamp tiny negative residue from roundoff.
-		for i := 0; i < m; i++ {
-			if st.xB[i] < 0 && st.xB[i] > -1e-7 {
-				st.xB[i] = 0
+		// An artificial leaving "to upper" rests at its zero effective bound
+		// — the lower bound — unless a staged-start cap (finite std.up) is
+		// in force, in which case it genuinely rests at the cap.
+		st.atUpper[leavingCol] = leaveToUpper &&
+			!(std.art[leavingCol] && math.IsInf(std.up[leavingCol], 1))
+		// Clamp tiny negative residue from roundoff. In hyper-sparse mode
+		// only the rows this pivot touched can have picked up new residue;
+		// rows dirtied by a refactorization's recompute are swept by the
+		// full clamp at the Optimal exit above.
+		if st.useNz {
+			for _, i32 := range st.wNz {
+				if st.xB[i32] < 0 && st.xB[i32] > -1e-7 {
+					st.xB[i32] = 0
+				}
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				if st.xB[i] < 0 && st.xB[i] > -1e-7 {
+					st.xB[i] = 0
+				}
 			}
 		}
+	}
+}
+
+// stepXB moves the basic values one ratio-test step: xB -= t·σ·w, over w's
+// nonzero rows in hyper-sparse mode.
+func (st *state) stepXB(t, sigma float64, w []float64) {
+	if st.useNz {
+		for _, i32 := range st.wNz {
+			st.xB[i32] -= t * sigma * w[i32]
+		}
+		return
+	}
+	for i := range st.xB {
+		st.xB[i] -= t * sigma * w[i]
 	}
 }

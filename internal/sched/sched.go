@@ -116,6 +116,18 @@ type Instance struct {
 	// expose the marginal cost burden), growing the LP; only the Price
 	// Computer needs it.
 	WantPrices bool
+	// ImplicitBounds selects the paper-scale build mode: every flow
+	// variable carries its tightest implicit upper bound (remaining
+	// demand, single-route rate cap, minimum capacity along its route),
+	// single-variable demand caps and guarantees become bounds instead of
+	// rows, and variable naming is skipped. The bounds are redundant with
+	// the rows, so the feasible region is unchanged — but they let the
+	// lp presolve prove most (edge, time) capacity rows non-binding and
+	// drop them, which is what makes the 106-node/226-edge/T=288 topology
+	// solvable inside the SAM budget. Builds in this mode also support
+	// Built.Rebind. Off by default; the default build is byte-identical
+	// to prior releases.
+	ImplicitBounds bool
 }
 
 // Result is a solved schedule.
@@ -152,10 +164,32 @@ type flowVar struct {
 	d, r, t int
 }
 
+// fixedLoadVar is an equal-bound load variable (constant window load or
+// fixed-usage carrier) that Rebind re-pins when FixedUsage changes.
+type fixedLoadVar struct {
+	v    lp.Var
+	e, t int
+}
+
+// rateRow is a multi-route RateCap row, re-targeted by Rebind.
+type rateRow struct {
+	d   int
+	row lp.Row
+}
+
+// costWindow records one percentile-charging window's proxy variable so
+// Rebind can neutralize windows that slide entirely into the past (their
+// charge is sunk — a fresh build would not model them at all).
+type costWindow struct {
+	z        lp.Var
+	we       int // window end (exclusive)
+	objCoef  float64
+}
+
 // Built is a constructed-but-reusable scheduling LP. Building the model is
 // itself a nontrivial cost for SAM-sized instances, and keeping the model
-// around lets callers perturb it in place (RelaxGuarantees) and re-solve
-// with a warm basis instead of rebuilding from scratch.
+// around lets callers perturb it in place (RelaxGuarantees, Rebind) and
+// re-solve with a warm basis instead of rebuilding from scratch.
 type Built struct {
 	ins    *Instance
 	model  *lp.Model
@@ -165,6 +199,16 @@ type Built struct {
 	// guaranteeRows are the GE rows from demands with MinBytes > 0, in
 	// demand order, so infeasible instances can be relaxed in place.
 	guaranteeRows []lp.Row
+
+	// Rebind bookkeeping (populated only for ImplicitBounds builds).
+	implicit    bool
+	builtStart  int
+	demandRow   []lp.Row // per demand; -1 when folded into a bound or absent
+	guaranteeOf []lp.Row // per demand; -1 when folded into a bound or absent
+	guardBound  []lp.Var // per demand; bound-form guarantee variable, -1 if none
+	rateRows    []rateRow
+	fixedLoads  []fixedLoadVar
+	windows     []costWindow
 }
 
 // Solve builds the LP and optimizes it. It returns an error for malformed
@@ -206,7 +250,13 @@ func (ins *Instance) Build() (*Built, error) {
 		byT[t] = append(byT[t], lp.Term{Var: v, Coef: 1})
 	}
 
+	nd := len(ins.Demands)
+	demandRow := make([]lp.Row, nd)
+	guaranteeOf := make([]lp.Row, nd)
+	guardBound := make([]lp.Var, nd)
+	var rateRows []rateRow
 	for di := range ins.Demands {
+		demandRow[di], guaranteeOf[di], guardBound[di] = -1, -1, -1
 		d := &ins.Demands[di]
 		lo, hi := d.Start, d.End
 		if lo < ins.StartStep {
@@ -223,11 +273,16 @@ func (ins *Instance) Build() (*Built, error) {
 				if allowed != nil && !allowed[t] {
 					continue
 				}
-				up := lp.Inf
-				if d.RateCap > 0 && len(d.Routes) == 1 {
-					up = d.RateCap // single route: a bound beats a row
+				var v lp.Var
+				if ins.ImplicitBounds {
+					v = m.AddVar(0, implicitUpper(ins, d, route, t), d.ValuePerByte, "")
+				} else {
+					up := lp.Inf
+					if d.RateCap > 0 && len(d.Routes) == 1 {
+						up = d.RateCap // single route: a bound beats a row
+					}
+					v = m.AddVar(0, up, d.ValuePerByte, fmt.Sprintf("x.d%d.r%d.t%d", d.ID, ri, t))
 				}
-				v := m.AddVar(0, up, d.ValuePerByte, fmt.Sprintf("x.d%d.r%d.t%d", d.ID, ri, t))
 				flows = append(flows, flowVar{v: v, d: di, r: ri, t: t})
 				dTerms = append(dTerms, lp.Term{Var: v, Coef: 1})
 				if d.RateCap > 0 && len(d.Routes) > 1 {
@@ -239,7 +294,7 @@ func (ins *Instance) Build() (*Built, error) {
 			}
 		}
 		for _, t := range sortedKeys(perStep) {
-			m.AddConstraint(lp.LE, d.RateCap, perStep[t]...)
+			rateRows = append(rateRows, rateRow{d: di, row: m.AddConstraint(lp.LE, d.RateCap, perStep[t]...)})
 		}
 		if len(dTerms) == 0 {
 			if d.MinBytes > 1e-9 {
@@ -250,9 +305,28 @@ func (ins *Instance) Build() (*Built, error) {
 		if d.MaxBytes < 0 {
 			return nil, fmt.Errorf("sched: demand %d has negative MaxBytes", d.ID)
 		}
-		m.AddConstraint(lp.LE, d.MaxBytes, dTerms...)
+		if ins.ImplicitBounds && len(dTerms) == 1 {
+			// A one-variable demand cap is just an upper bound, already
+			// folded into the variable by implicitUpper. A one-variable
+			// guarantee is a lower bound — expressible as long as it fits
+			// under the upper bound (otherwise keep the row so
+			// infeasibility surfaces and can be relaxed).
+			v := dTerms[0].Var
+			guardBound[di] = v
+			if d.MinBytes > 1e-9 {
+				if _, up := m.Bounds(v); d.MinBytes <= up {
+					m.SetBounds(v, d.MinBytes, up)
+				} else {
+					guaranteeOf[di] = m.AddConstraint(lp.GE, d.MinBytes, dTerms...)
+					guaranteeRows = append(guaranteeRows, guaranteeOf[di])
+				}
+			}
+			continue
+		}
+		demandRow[di] = m.AddConstraint(lp.LE, d.MaxBytes, dTerms...)
 		if d.MinBytes > 1e-9 {
-			guaranteeRows = append(guaranteeRows, m.AddConstraint(lp.GE, d.MinBytes, dTerms...))
+			guaranteeOf[di] = m.AddConstraint(lp.GE, d.MinBytes, dTerms...)
+			guaranteeRows = append(guaranteeRows, guaranteeOf[di])
 		}
 	}
 
@@ -271,6 +345,8 @@ func (ins *Instance) Build() (*Built, error) {
 	}
 
 	// Percentile-cost proxy per usage-priced edge per charging window.
+	var fixedLoads []fixedLoadVar
+	var windows []costWindow
 	if ins.UseCostProxy {
 		w := ins.Cost.WindowLen
 		if w <= 0 {
@@ -310,21 +386,39 @@ func (ins *Instance) Build() (*Built, error) {
 					if len(terms) == 0 {
 						// Constant load: a fixed variable keeps the
 						// sorting network purely linear.
-						lv := m.AddVar(fixed, fixed, 0, fmt.Sprintf("L.e%d.t%d", eid, t))
+						var lv lp.Var
+						if ins.ImplicitBounds {
+							lv = m.AddVar(fixed, fixed, 0, "")
+							fixedLoads = append(fixedLoads, fixedLoadVar{v: lv, e: eid, t: t})
+						} else {
+							lv = m.AddVar(fixed, fixed, 0, fmt.Sprintf("L.e%d.t%d", eid, t))
+						}
 						loads = append(loads, cost.LoadExpr{{Var: lv, Coef: 1}})
 						continue
 					}
 					anyFlow = true
 					if !ins.WantPrices {
 						expr := append(cost.LoadExpr(nil), terms...)
-						if fixed > 0 {
+						if ins.ImplicitBounds {
+							// Always carry a fixed-usage variable, even at
+							// zero, so Rebind can re-pin it when earlier
+							// steps' traffic becomes FixedUsage.
+							fv := m.AddVar(fixed, fixed, 0, "")
+							fixedLoads = append(fixedLoads, fixedLoadVar{v: fv, e: eid, t: t})
+							expr = append(expr, lp.Term{Var: fv, Coef: 1})
+						} else if fixed > 0 {
 							fv := m.AddVar(fixed, fixed, 0, fmt.Sprintf("F.e%d.t%d", eid, t))
 							expr = append(expr, lp.Term{Var: fv, Coef: 1})
 						}
 						loads = append(loads, expr)
 						continue
 					}
-					lv := m.AddVar(0, lp.Inf, 0, fmt.Sprintf("L.e%d.t%d", eid, t))
+					var lv lp.Var
+					if ins.ImplicitBounds {
+						lv = m.AddVar(0, lp.Inf, 0, "")
+					} else {
+						lv = m.AddVar(0, lp.Inf, 0, fmt.Sprintf("L.e%d.t%d", eid, t))
+					}
 					// flows + fixed - L = 0  →  Σ flows - L = -fixed.
 					def := append(append([]lp.Term(nil), terms...), lp.Term{Var: lv, Coef: -1})
 					row := m.AddConstraint(lp.EQ, -fixed, def...)
@@ -339,7 +433,11 @@ func (ins *Instance) Build() (*Built, error) {
 				}
 				k := ins.Cost.K(we - ws)
 				s := cost.AddTopKBound(m, loads, k, fmt.Sprintf("z.e%d.w%d", eid, ws))
-				m.SetObj(s, -e.CostPerUnit/float64(k))
+				coef := -e.CostPerUnit / float64(k)
+				m.SetObj(s, coef)
+				if ins.ImplicitBounds {
+					windows = append(windows, costWindow{z: s, we: we, objCoef: coef})
+				}
 			}
 		}
 	}
@@ -351,7 +449,38 @@ func (ins *Instance) Build() (*Built, error) {
 		capRow:        capRow,
 		defRow:        defRow,
 		guaranteeRows: guaranteeRows,
+		implicit:      ins.ImplicitBounds,
+		builtStart:    ins.StartStep,
+		demandRow:     demandRow,
+		guaranteeOf:   guaranteeOf,
+		guardBound:    guardBound,
+		rateRows:      rateRows,
+		fixedLoads:    fixedLoads,
+		windows:       windows,
 	}, nil
+}
+
+// implicitUpper computes the tightest per-variable upper bound implied by
+// the instance data for a flow of demand d on route at timestep t: the
+// remaining demand, the single-route rate cap, and the narrowest capacity
+// along the route. Each is an existing constraint the variable alone can
+// never exceed, so the bound leaves the feasible region untouched while
+// giving presolve the activity ceilings it needs to drop slack capacity
+// rows.
+func implicitUpper(ins *Instance, d *Demand, route graph.Path, t int) float64 {
+	up := d.MaxBytes
+	if d.RateCap > 0 && len(d.Routes) == 1 && d.RateCap < up {
+		up = d.RateCap
+	}
+	for _, eid := range route {
+		if c := ins.Capacity[eid][t]; c < up {
+			up = c
+		}
+	}
+	if up < 0 {
+		up = 0
+	}
+	return up
 }
 
 // RelaxGuarantees zeroes the right-hand side of every guarantee row in
@@ -364,6 +493,176 @@ func (b *Built) RelaxGuarantees() {
 	for _, r := range b.guaranteeRows {
 		b.model.SetRHS(r, 0)
 	}
+	// Bound-form guarantees (ImplicitBounds single-variable demands) live in
+	// the variable's lower bound instead of a row.
+	for _, v := range b.guardBound {
+		if v >= 0 {
+			if lo, up := b.model.Bounds(v); lo > 0 {
+				b.model.SetBounds(v, 0, up)
+			}
+		}
+	}
+}
+
+// Rebind re-targets a built model at a successor instance — the same
+// topology and demand structure, one or more timesteps later — by patching
+// objective coefficients, bounds, and right-hand sides in place. Compared
+// to rebuilding, the model keeps its identity (variable/row numbering,
+// cached standardization, presolve recipe), so the previous solve's warm
+// basis remains valid and consecutive SAM steps avoid the ~10⁶ allocations
+// a from-scratch Build costs at paper scale.
+//
+// Only ImplicitBounds builds support Rebind (the default build bakes
+// instance data into variable names and row layout in ways that are not
+// worth patching). The successor must match the built instance structurally:
+// same network size, horizon, cost config, demand count, and per-demand
+// routes/interval/Allowed; StartStep may only advance. Data that may
+// change: StartStep, Capacity, FixedUsage, and per-demand MaxBytes /
+// MinBytes / ValuePerByte / RateCap (RateCap only where it does not change
+// the row structure). On any mismatch Rebind returns an error and leaves
+// the model untouched in spirit — callers should fall back to a fresh
+// Build; partial patches are only a performance concern, never consulted
+// again after the fallback.
+//
+// Flow variables at timesteps before the new StartStep are pinned to zero
+// (their traffic is sunk; the caller moves realized bytes into FixedUsage),
+// and percentile windows that slid entirely into the past have their proxy
+// cost neutralized, matching what a fresh build would omit.
+func (b *Built) Rebind(ins *Instance) error {
+	old := b.ins
+	if !b.implicit || !ins.ImplicitBounds {
+		return fmt.Errorf("sched: Rebind requires ImplicitBounds builds")
+	}
+	if ins.Horizon != old.Horizon {
+		return fmt.Errorf("sched: Rebind horizon changed %d -> %d", old.Horizon, ins.Horizon)
+	}
+	if ins.StartStep < b.builtStart || ins.StartStep > ins.Horizon {
+		return fmt.Errorf("sched: Rebind start step %d outside [%d, %d]", ins.StartStep, b.builtStart, ins.Horizon)
+	}
+	ne := ins.Net.NumEdges()
+	if ne != old.Net.NumEdges() || len(ins.Capacity) != ne {
+		return fmt.Errorf("sched: Rebind network/capacity size changed")
+	}
+	if ins.UseCostProxy != old.UseCostProxy || ins.WantPrices != old.WantPrices || ins.Cost != old.Cost {
+		return fmt.Errorf("sched: Rebind cost configuration changed")
+	}
+	if len(ins.Demands) != len(old.Demands) {
+		return fmt.Errorf("sched: Rebind demand count changed %d -> %d", len(old.Demands), len(ins.Demands))
+	}
+	m := b.model
+	for di := range ins.Demands {
+		d2, d1 := &ins.Demands[di], &old.Demands[di]
+		if d2.Start != d1.Start || d2.End != d1.End || !pathsEqual(d1.Routes, d2.Routes) || !intsEqual(d1.Allowed, d2.Allowed) {
+			return fmt.Errorf("sched: Rebind demand %d routes/interval changed", d2.ID)
+		}
+		if d2.MaxBytes < 0 {
+			return fmt.Errorf("sched: demand %d has negative MaxBytes", d2.ID)
+		}
+		if len(d1.Routes) > 1 && (d1.RateCap > 0) != (d2.RateCap > 0) {
+			// The per-timestep cap rows exist iff RateCap > 0 at build.
+			return fmt.Errorf("sched: Rebind demand %d rate cap appeared/vanished", d2.ID)
+		}
+		if b.demandRow[di] >= 0 {
+			m.SetRHS(b.demandRow[di], d2.MaxBytes)
+		}
+		if b.guaranteeOf[di] >= 0 {
+			m.SetRHS(b.guaranteeOf[di], d2.MinBytes)
+		} else if d2.MinBytes > 1e-9 && b.guardBound[di] < 0 {
+			// No row and no bound carrier: the demand had no guarantee (or
+			// no variables) at build time, so nothing can enforce one now.
+			return fmt.Errorf("sched: Rebind demand %d gained a guarantee", d2.ID)
+		}
+	}
+	for _, rr := range b.rateRows {
+		m.SetRHS(rr.row, ins.Demands[rr.d].RateCap)
+	}
+	for i := range b.flows {
+		f := &b.flows[i]
+		d2 := &ins.Demands[f.d]
+		lo := 0.0
+		var up float64
+		if f.t < ins.StartStep {
+			up = 0
+		} else {
+			up = implicitUpper(ins, d2, d2.Routes[f.r], f.t)
+		}
+		if b.guardBound[f.d] == f.v && b.guaranteeOf[f.d] < 0 && d2.MinBytes > 1e-9 {
+			if d2.MinBytes > up {
+				// A fresh build would fall back to a GE row here (or reject
+				// the instance outright when the step is past); this build
+				// has neither, so hand the instance back for a rebuild.
+				return fmt.Errorf("sched: Rebind demand %d guarantee no longer fits its bound", d2.ID)
+			}
+			lo = d2.MinBytes
+		}
+		m.SetBounds(f.v, lo, up)
+		m.SetObj(f.v, d2.ValuePerByte)
+	}
+	for e, byT := range b.capRow {
+		for t, row := range byT {
+			m.SetRHS(row, ins.Capacity[e][t])
+		}
+	}
+	for e, byT := range b.defRow {
+		for t, row := range byT {
+			fixed := 0.0
+			if ins.FixedUsage != nil {
+				fixed = ins.FixedUsage[e][t]
+			}
+			m.SetRHS(row, -fixed)
+		}
+	}
+	for _, fl := range b.fixedLoads {
+		fixed := 0.0
+		if ins.FixedUsage != nil {
+			fixed = ins.FixedUsage[fl.e][fl.t]
+		}
+		m.SetBounds(fl.v, fixed, fixed)
+	}
+	for _, wd := range b.windows {
+		if wd.we <= ins.StartStep {
+			// The window's charge is sunk: a fresh build would not model it.
+			// Zeroing the proxy's objective coefficient neutralizes it (the
+			// sorting-network rows stay, but cost nothing and bind nothing).
+			m.SetObj(wd.z, 0)
+		} else {
+			m.SetObj(wd.z, wd.objCoef)
+		}
+	}
+	b.ins = ins
+	return nil
+}
+
+// pathsEqual reports whether two route sets are element-wise identical.
+func pathsEqual(a, b []graph.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// intsEqual reports whether two int slices are identical (nil == empty is
+// NOT assumed: a nil Allowed means "every step", which differs from empty).
+func intsEqual(a, b []int) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Solve optimizes the built model. It can be called repeatedly after
