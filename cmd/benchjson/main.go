@@ -12,6 +12,15 @@
 // every reported unit (standard and custom ReportMetric ones) to its
 // value, with the -cpucount suffix stripped from the name. Header lines
 // (goos, goarch, pkg, cpu) are captured as metadata.
+//
+// Repeatable -gate flags turn the report into a regression guard:
+//
+//	go run ./cmd/benchjson -gate 'BenchmarkSAMSolve/Paper/sparse:allocs/op<=364000'
+//
+// Each gate names a benchmark, a metric unit, and a ceiling; a gate whose
+// benchmark or unit is missing fails too, so a renamed bench cannot
+// silently disarm its guard. Any violation exits 1 after the report is
+// written.
 package main
 
 import (
@@ -41,8 +50,60 @@ type report struct {
 	Results []result          `json:"results"`
 }
 
+// gate is one "bench:unit<=max" ceiling from a -gate flag.
+type gate struct {
+	bench string
+	unit  string
+	max   float64
+}
+
+func parseGate(s string) (gate, error) {
+	op := strings.Index(s, "<=")
+	if op < 0 {
+		return gate{}, fmt.Errorf("gate %q: want 'bench:unit<=max'", s)
+	}
+	colon := strings.LastIndex(s[:op], ":")
+	if colon < 1 || colon+1 == op {
+		return gate{}, fmt.Errorf("gate %q: want 'bench:unit<=max'", s)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s[op+2:]), 64)
+	if err != nil {
+		return gate{}, fmt.Errorf("gate %q: bad ceiling: %v", s, err)
+	}
+	return gate{bench: s[:colon], unit: s[colon+1 : op], max: v}, nil
+}
+
+// check returns an error unless some result matches the gate's benchmark
+// name and holds the metric at or under the ceiling. A missing benchmark
+// or unit is a failure: a renamed bench must take its guard along.
+func (g gate) check(results []result) error {
+	for _, r := range results {
+		if r.Name != g.bench {
+			continue
+		}
+		v, ok := r.Metrics[g.unit]
+		if !ok {
+			return fmt.Errorf("gate %s: benchmark did not report %q", g.bench, g.unit)
+		}
+		if v > g.max {
+			return fmt.Errorf("gate %s: %s = %g exceeds ceiling %g", g.bench, g.unit, v, g.max)
+		}
+		return nil
+	}
+	return fmt.Errorf("gate %s: benchmark not found in input", g.bench)
+}
+
 func main() {
 	out := flag.String("out", "", "write the JSON report to this file (default: stdout after the raw lines)")
+	var gates []gate
+	flag.Func("gate", "fail (exit 1) unless 'bench:unit<=max' holds; repeatable", func(s string) error {
+		g, err := parseGate(s)
+		if err != nil {
+			return err
+		}
+		gates = append(gates, g)
+		return nil
+	})
 	flag.Parse()
 
 	rep := report{Meta: map[string]string{}}
@@ -76,10 +137,21 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Gates run after the report is written so a failing run still leaves
+	// the numbers behind for the investigation.
+	failed := false
+	for _, g := range gates {
+		if err := g.check(rep.Results); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

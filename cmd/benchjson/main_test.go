@@ -59,3 +59,44 @@ func TestParseBenchLineRejectsNonBench(t *testing.T) {
 		}
 	}
 }
+
+func TestParseGate(t *testing.T) {
+	g, err := parseGate("BenchmarkSAMSolve/Paper/sparse:allocs/op<=364000")
+	if err != nil {
+		t.Fatalf("parseGate: %v", err)
+	}
+	if g.bench != "BenchmarkSAMSolve/Paper/sparse" || g.unit != "allocs/op" || g.max != 364000 {
+		t.Errorf("gate = %+v", g)
+	}
+	for _, bad := range []string{"", "nobench", "name:unit", "name<=5", ":unit<=5", "name:<=5", "name:unit<=x"} {
+		if _, err := parseGate(bad); err == nil {
+			t.Errorf("parseGate accepted %q", bad)
+		}
+	}
+}
+
+func TestGateCheck(t *testing.T) {
+	results := []result{{
+		Name:    "BenchmarkSAMSolve/Paper/sparse",
+		Metrics: map[string]float64{"pivots": 28854, "allocs/op": 330894},
+	}}
+	cases := []struct {
+		gate string
+		ok   bool
+	}{
+		{"BenchmarkSAMSolve/Paper/sparse:pivots<=37000", true},
+		{"BenchmarkSAMSolve/Paper/sparse:pivots<=28854", true}, // ceiling is inclusive
+		{"BenchmarkSAMSolve/Paper/sparse:pivots<=28853", false},
+		{"BenchmarkSAMSolve/Paper/sparse:refactors<=100", false}, // unit not reported
+		{"BenchmarkGone:pivots<=1e9", false},                     // bench not present
+	}
+	for _, c := range cases {
+		g, err := parseGate(c.gate)
+		if err != nil {
+			t.Fatalf("parseGate(%q): %v", c.gate, err)
+		}
+		if got := g.check(results) == nil; got != c.ok {
+			t.Errorf("gate %q: pass = %v, want %v", c.gate, got, c.ok)
+		}
+	}
+}

@@ -257,3 +257,287 @@ func TestTimeBudgetStillBindsOnSparseKernel(t *testing.T) {
 		t.Fatal("a timed-out solve must not capture a basis")
 	}
 }
+
+// samShapedBoundedLP is samShapedLP with finite per-variable caps, matching
+// the implicit-bound builds the sched layer produces at scale. This is the
+// shape the dual cold start targets: a negative-cost column with an
+// infinite upper bound can never be flipped dual feasible from the slack
+// basis, so the dual route declines unbounded-variable corpora.
+func samShapedBoundedLP(r *rand.Rand, rhsScale float64) *Model {
+	m := NewModel()
+	m.SetMaximize(true)
+	nDemands := 3 + r.Intn(4)
+	nEdges := 3 + r.Intn(3)
+	steps := 2 + r.Intn(3)
+	edgeTerms := make([][]Term, nEdges*steps)
+	for d := 0; d < nDemands; d++ {
+		value := 0.2 + r.Float64()*2
+		var dTerms []Term
+		routes := 1 + r.Intn(2)
+		for ri := 0; ri < routes; ri++ {
+			e1, e2 := r.Intn(nEdges), r.Intn(nEdges)
+			for t := 0; t < steps; t++ {
+				v := m.AddVar(0, 2+8*r.Float64(), value, "x")
+				dTerms = append(dTerms, Term{Var: v, Coef: 1})
+				edgeTerms[e1*steps+t] = append(edgeTerms[e1*steps+t], Term{Var: v, Coef: 1})
+				if e2 != e1 {
+					edgeTerms[e2*steps+t] = append(edgeTerms[e2*steps+t], Term{Var: v, Coef: 1})
+				}
+			}
+		}
+		maxB := (5 + r.Float64()*20) * rhsScale
+		m.AddConstraint(LE, maxB, dTerms...)
+		if r.Float64() < 0.5 {
+			m.AddConstraint(GE, maxB*0.1, dTerms...)
+		}
+	}
+	for _, terms := range edgeTerms {
+		if len(terms) == 0 {
+			continue
+		}
+		m.AddConstraint(LE, (8+r.Float64()*15)*rhsScale, terms...)
+	}
+	return m
+}
+
+// requireCrossOptimal asserts two solves of the SAME model agree as optima:
+// identical status, matching objective, and mutual complementary slackness —
+// solution a's primal paired with solution b's dual certificate must have a
+// (near-)zero complementarity residual, and vice versa. Degenerate SAM
+// instances have alternate optimal vertices, so element-wise vector equality
+// between different pricing rules is not a theorem; cross-certificate
+// agreement is, and it pins objective, primal feasibility, dual
+// feasibility, and reduced-cost consistency all at once.
+func requireCrossOptimal(t *testing.T, m *Model, a, b *Solution, ctx string) {
+	t.Helper()
+	if a.Status != b.Status {
+		t.Fatalf("%s: status %v vs %v", ctx, a.Status, b.Status)
+	}
+	if a.Status != Optimal {
+		return
+	}
+	relTol := 1e-6 * (1 + math.Abs(b.Objective))
+	if d := math.Abs(a.Objective - b.Objective); d > relTol {
+		t.Fatalf("%s: objective %v vs %v (diff %g)", ctx, a.Objective, b.Objective, d)
+	}
+	const tol = 1e-5
+	check := func(x, dual, red []float64, tag string) {
+		t.Helper()
+		compRes := 0.0
+		for i, terms := range m.rows {
+			act := 0.0
+			for _, tm := range terms {
+				act += tm.Coef * x[tm.Var]
+			}
+			rtol := tol * (1 + math.Abs(m.rhs[i]))
+			switch m.senses[i] {
+			case LE:
+				if act > m.rhs[i]+rtol {
+					t.Fatalf("%s/%s: row %d activity %g > rhs %g", ctx, tag, i, act, m.rhs[i])
+				}
+			case GE:
+				if act < m.rhs[i]-rtol {
+					t.Fatalf("%s/%s: row %d activity %g < rhs %g", ctx, tag, i, act, m.rhs[i])
+				}
+			case EQ:
+				if math.Abs(act-m.rhs[i]) > rtol {
+					t.Fatalf("%s/%s: row %d activity %g != rhs %g", ctx, tag, i, act, m.rhs[i])
+				}
+			}
+			compRes += math.Abs(act-m.rhs[i]) * math.Abs(dual[i])
+		}
+		for v := range x {
+			lo, up := m.lo[v], m.up[v]
+			if x[v] < lo-tol*(1+math.Abs(lo)) || x[v] > up+tol*(1+math.Abs(up)) {
+				t.Fatalf("%s/%s: var %d = %g outside [%g, %g]", ctx, tag, v, x[v], lo, up)
+			}
+			gap := math.Inf(1)
+			if !math.IsInf(lo, -1) {
+				gap = x[v] - lo
+			}
+			if !math.IsInf(up, 1) && up-x[v] < gap {
+				gap = up - x[v]
+			}
+			if !math.IsInf(gap, 1) {
+				compRes += gap * math.Abs(red[v])
+			}
+		}
+		if lim := 1e-4 * (1 + math.Abs(a.Objective)); compRes > lim {
+			t.Fatalf("%s/%s: cross complementarity residual %g > %g", ctx, tag, compRes, lim)
+		}
+	}
+	check(a.X, b.Dual, b.ReducedCost, "aX-bY")
+	check(b.X, a.Dual, a.ReducedCost, "bX-aY")
+}
+
+// TestPricingDifferentialDevexVsDantzig: on the randomized SAM-shaped
+// corpus, devex and Dantzig must land on the same optimum — cold, with
+// presolve on, and across warm-started re-solves.
+func TestPricingDifferentialDevexVsDantzig(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		seed := int64(5000 + trial)
+		model := samShapedLP(rand.New(rand.NewSource(seed)), 1.0)
+		dz, err := model.Solve(Options{Pricing: PricingDantzig})
+		if err != nil && dz == nil {
+			t.Fatalf("trial %d: dantzig: %v", trial, err)
+		}
+		dv, err := model.Solve(Options{Pricing: PricingDevex})
+		if err != nil && dv == nil {
+			t.Fatalf("trial %d: devex: %v", trial, err)
+		}
+		if dv.PricingUsed != PricingDevex || dz.PricingUsed != PricingDantzig {
+			t.Fatalf("trial %d: PricingUsed devex=%q dantzig=%q", trial, dv.PricingUsed, dz.PricingUsed)
+		}
+		requireCrossOptimal(t, model, dv, dz, "cold")
+		if dz.Status != Optimal {
+			continue
+		}
+
+		pre := samShapedLP(rand.New(rand.NewSource(seed)), 1.0)
+		pz, err := pre.Solve(Options{Presolve: true, Pricing: PricingDantzig})
+		if err != nil && pz == nil {
+			t.Fatalf("trial %d: presolve dantzig: %v", trial, err)
+		}
+		pv, err := pre.Solve(Options{Presolve: true, Pricing: PricingDevex})
+		if err != nil && pv == nil {
+			t.Fatalf("trial %d: presolve devex: %v", trial, err)
+		}
+		requireCrossOptimal(t, pre, pv, pz, "presolve")
+
+		perturbed := samShapedLP(rand.New(rand.NewSource(seed)), 1.07)
+		wz, err := perturbed.Solve(Options{WarmBasis: dz.Basis(), Pricing: PricingDantzig})
+		if err != nil && wz == nil {
+			t.Fatalf("trial %d: warm dantzig: %v", trial, err)
+		}
+		wv, err := perturbed.Solve(Options{WarmBasis: dz.Basis(), Pricing: PricingDevex})
+		if err != nil && wv == nil {
+			t.Fatalf("trial %d: warm devex: %v", trial, err)
+		}
+		requireCrossOptimal(t, perturbed, wv, wz, "warm")
+	}
+}
+
+// TestColdStrategyDifferentialDualVsPrimal: the dual cold start must reach
+// the same optimum as the primal route on the bounded SAM corpus, and must
+// actually engage (DualCold reported) on most of it — a silently always-
+// falling-back dual route would make this test vacuous.
+func TestColdStrategyDifferentialDualVsPrimal(t *testing.T) {
+	engaged := 0
+	trials := 40
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(6200 + trial)
+		model := samShapedBoundedLP(rand.New(rand.NewSource(seed)), 1.0)
+		pc, err := model.Solve(Options{ColdStrategy: ColdPrimal})
+		if err != nil && pc == nil {
+			t.Fatalf("trial %d: primal cold: %v", trial, err)
+		}
+		dc, err := model.Solve(Options{ColdStrategy: ColdDual})
+		if err != nil && dc == nil {
+			t.Fatalf("trial %d: dual cold: %v", trial, err)
+		}
+		if pc.DualCold {
+			t.Fatalf("trial %d: primal cold solve reported DualCold", trial)
+		}
+		if dc.DualCold {
+			engaged++
+		}
+		requireCrossOptimal(t, model, dc, pc, "cold-strategy")
+
+		// Presolve must compose with the dual cold start.
+		pre := samShapedBoundedLP(rand.New(rand.NewSource(seed)), 1.0)
+		pp, err := pre.Solve(Options{Presolve: true, ColdStrategy: ColdPrimal})
+		if err != nil && pp == nil {
+			t.Fatalf("trial %d: presolve primal: %v", trial, err)
+		}
+		dp, err := pre.Solve(Options{Presolve: true, ColdStrategy: ColdDual})
+		if err != nil && dp == nil {
+			t.Fatalf("trial %d: presolve dual: %v", trial, err)
+		}
+		requireCrossOptimal(t, pre, dp, pp, "cold-strategy-presolve")
+	}
+	if engaged < trials/2 {
+		t.Fatalf("dual cold start engaged on only %d/%d bounded instances", engaged, trials)
+	}
+}
+
+// TestColdStrategyDegenerateReplicatedRows: identical replicated capacity
+// rows (massive dual ratio-test ties — exactly what the cost perturbation
+// exists for) must not stop the dual cold start from matching the primal
+// route.
+func TestColdStrategyDegenerateReplicatedRows(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		r := rand.New(rand.NewSource(int64(7300 + trial)))
+		m := NewModel()
+		m.SetMaximize(true)
+		n := 6 + r.Intn(5)
+		vars := make([]Term, n)
+		for j := 0; j < n; j++ {
+			v := m.AddVar(0, 1, 1+float64(j%3)*0.5, "x")
+			vars[j] = Term{Var: v, Coef: 1}
+		}
+		cap := 1 + r.Float64()*2
+		for k := 0; k < 10; k++ {
+			m.AddConstraint(LE, cap, vars...)
+		}
+		for k := 0; k < 3; k++ {
+			terms := []Term{vars[r.Intn(n)], vars[r.Intn(n)]}
+			m.AddConstraint(LE, cap*0.8, terms...)
+		}
+		pc, err := m.Solve(Options{ColdStrategy: ColdPrimal})
+		if err != nil && pc == nil {
+			t.Fatalf("trial %d: primal: %v", trial, err)
+		}
+		dc, err := m.Solve(Options{ColdStrategy: ColdDual})
+		if err != nil && dc == nil {
+			t.Fatalf("trial %d: dual: %v", trial, err)
+		}
+		requireCrossOptimal(t, m, dc, pc, "degenerate")
+		// Devex on the same degenerate shape, for good measure.
+		dv, err := m.Solve(Options{Pricing: PricingDevex})
+		if err != nil && dv == nil {
+			t.Fatalf("trial %d: devex: %v", trial, err)
+		}
+		requireCrossOptimal(t, m, dv, pc, "degenerate-devex")
+	}
+}
+
+// TestDevexWeightResetAcrossRefactor: with RefactorEvery forced to 1 every
+// pivot passes through a refactorization, so the devex reference weights
+// and maintained reduced costs are rebuilt at every step — the solve must
+// still land on the Dantzig optimum, and the final refresh-verified exit
+// must leave dRed exact and every weight at its reset value of 1.
+func TestDevexWeightResetAcrossRefactor(t *testing.T) {
+	model := samShapedLP(rand.New(rand.NewSource(4321)), 1.0)
+	want, err := model.Solve(Options{Pricing: PricingDantzig})
+	if err != nil || want.Status != Optimal {
+		t.Fatalf("dantzig reference: %v %v", want.Status, err)
+	}
+	got, err := model.Solve(Options{Pricing: PricingDevex, RefactorEvery: 1})
+	if err != nil || got.Status != Optimal {
+		t.Fatalf("devex forced-refactor solve: %v %v", got.Status, err)
+	}
+	requireCrossOptimal(t, model, got, want, "forced-refactor")
+	if got.Refactors < got.Iterations {
+		t.Fatalf("RefactorEvery=1 performed %d refactors over %d pivots", got.Refactors, got.Iterations)
+	}
+
+	// State-level: after a devex solve's verified exit, dRed must equal the
+	// exact reduced costs and the weights must sit at the reset value.
+	std, err := model.standardized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := std.solve(Options{Pricing: PricingDevex}.withDefaults(std.n, std.m))
+	if res.status != Optimal {
+		t.Fatalf("raw solve status %v", res.status)
+	}
+	for j := 0; j < std.n; j++ {
+		dj := std.c[j]
+		for _, e := range std.cols[j] {
+			dj -= res.y[e.row] * e.val
+		}
+		if math.Abs(dj-res.d[j]) > 1e-8*(1+math.Abs(dj)) {
+			t.Fatalf("reported reduced cost %d inconsistent with duals: %g vs %g", j, res.d[j], dj)
+		}
+	}
+}

@@ -32,10 +32,10 @@ import (
 // All iteration orders are slice-deterministic: two solves of the same
 // model pivot identically (warm-start determinism tests rely on this).
 type luFactor struct {
-	m    int
-	lops []lop   // L⁻¹ as elimination ops, in application order
-	ur   [][]lue // U row per elimination step k: entries at steps > k
-	ud   []float64
+	m       int
+	lops    []lop   // L⁻¹ as elimination ops, in application order
+	ur      [][]lue // U row per elimination step k: entries at steps > k
+	ud      []float64
 	permRow []int32 // step k -> original constraint row
 	permPos []int32 // step k -> basis position
 
@@ -48,8 +48,9 @@ type luFactor struct {
 	// ucPtr/ucIdx is a CSR map from elimination step k to the earlier steps
 	// whose U rows reference z[k] (FTRAN's back-substitution dependents);
 	// lrPtr/lrIdx maps each constraint row r to the L-op indices that read
-	// out[r] (BTRAN's transposed-pass dependents). Both are immutable after
-	// refactorize/reset and shared by clones, like the factorization itself.
+	// out[r] (BTRAN's transposed-pass dependents). Both are stable between
+	// refactorize/reset calls and shared by clones (the `shared` flag below
+	// keeps a clone's view immutable), like the factorization itself.
 	ucPtr, ucIdx []int32
 	lrPtr, lrIdx []int32
 
@@ -57,8 +58,8 @@ type luFactor struct {
 	// (ftranColNz/btranUnitNz): posStep is the inverse of permPos (basis
 	// position → elimination step), stepOfRow the inverse of permRow, and
 	// rowOp[r] the index of the elimination op whose pivot row is r (-1 when
-	// row r generated no multipliers). Immutable after refactorize/reset,
-	// shared by clones.
+	// row r generated no multipliers). Stable between refactorize/reset
+	// calls, shared by clones under the `shared` flag.
 	posStep   []int32
 	stepOfRow []int32
 	rowOp     []int32
@@ -87,6 +88,26 @@ type luFactor struct {
 	// allocations — and never shared with clones (the factorization output
 	// slices are the immutable product; the scratch is not).
 	mkz *markowitzScratch
+
+	// shared marks the factorization output slices (lops/ur/ud/perms/
+	// transposes and the arenas backing them) as visible to a clone. It is
+	// set on BOTH sides of every clone() call; while set, refactorize and
+	// reset allocate fresh outputs instead of recycling the previous ones,
+	// and the eta arena is abandoned rather than rewound. The first
+	// refactorize after a clone therefore pays one full allocation round and
+	// clears the flag; steady-state solve loops (hundreds of
+	// refactorizations per Paper-scale cold solve) recycle everything.
+	shared bool
+
+	// Arenas backing the per-step/per-pivot small slices, recycled across
+	// refactorizations when not shared. lueArena backs ur's step rows,
+	// opArena backs the lops multiplier lists, etaArena backs the eta-file
+	// nonzero lists (append-carved with a capped three-index expression, so
+	// a mid-carve growth leaves earlier, already-published slices on the old
+	// backing array — write-once, never revisited).
+	lueArena []lue
+	opArena  []entry
+	etaArena []entry
 }
 
 // markowitzScratch is the reusable working set of refactorize. Everything
@@ -112,11 +133,11 @@ type markowitzScratch struct {
 	// turn the per-step candidate search from a full O(m) column scan
 	// into a few heap operations — the difference between O(m²) and
 	// near-O(nnz) refactorizations on paper-scale staircase models.
-	heaps    [][]int32
-	heapKey  []int32
-	valid    []int
+	heaps     [][]int32
+	heapKey   []int32
+	valid     []int
 	minBucket int
-	popped   []int32
+	popped    []int32
 
 	// Singleton queues for the staircase peeling pass (large models only).
 	// colQ collects columns whose live count drops to 1 (setColCount feeds
@@ -124,6 +145,14 @@ type markowitzScratch struct {
 	// when counts move on — consumers re-check before use.
 	colQ []int32
 	rowQ []int32
+
+	// Intermediate U build (position-indexed rows, remapped to steps at the
+	// end of refactorize) and the transpose fill cursor. Dead between
+	// refactorizations — unlike the factorization outputs these are never
+	// shared with clones, so they recycle unconditionally.
+	urPos  [][]ment
+	uArena []ment
+	fill   []int32
 }
 
 // ensure sizes every scratch slice for an m-row factorization and resets
@@ -141,6 +170,8 @@ func (s *markowitzScratch) ensure(m int) {
 		s.heaps = make([][]int32, m+1)
 		s.heapKey = make([]int32, m)
 		s.valid = make([]int, m+1)
+		s.urPos = make([][]ment, m)
+		s.fill = make([]int32, m)
 	}
 	s.rowNz = s.rowNz[:m]
 	s.colRows = s.colRows[:m]
@@ -153,6 +184,8 @@ func (s *markowitzScratch) ensure(m int) {
 	s.heaps = s.heaps[:m+1]
 	s.heapKey = s.heapKey[:m]
 	s.valid = s.valid[:m+1]
+	s.urPos = s.urPos[:m]
+	s.fill = s.fill[:m]
 	for i := 0; i < m; i++ {
 		s.rowNz[i] = s.rowNz[i][:0]
 		s.colRows[i] = s.colRows[i][:0]
@@ -471,14 +504,48 @@ func (f *luFactor) ensureNzScratch() {
 // never write through arrays shared with a cloned snapshot.
 func (f *luFactor) reset(m int) {
 	f.m = m
-	f.lops = nil
-	f.ur = make([][]lue, m)
-	f.ud = make([]float64, m)
-	f.permRow = make([]int32, m)
-	f.permPos = make([]int32, m)
-	f.posStep = make([]int32, m)
-	f.stepOfRow = make([]int32, m)
-	f.rowOp = make([]int32, m)
+	if f.shared || len(f.ud) != m || f.ur == nil {
+		// First use, a size change, or a clone still views the current
+		// arrays: allocate fresh so a reset can never write through arrays
+		// shared with a cloned snapshot.
+		f.lops = nil
+		f.opArena = nil
+		f.lueArena = nil
+		f.ur = make([][]lue, m)
+		f.ud = make([]float64, m)
+		f.permRow = make([]int32, m)
+		f.permPos = make([]int32, m)
+		f.posStep = make([]int32, m)
+		f.stepOfRow = make([]int32, m)
+		f.rowOp = make([]int32, m)
+		f.ucPtr = make([]int32, m+1)
+		f.ucIdx = nil
+		f.lrPtr = make([]int32, m+1)
+		f.lrIdx = nil
+		f.lmark = nil
+		f.etas = nil
+		f.etaArena = nil
+		f.shared = false
+	} else {
+		// Recycle in place: rewrite every identity-state entry and rewind
+		// the arenas (no clone can see them — that is what !shared means).
+		f.lops = f.lops[:0]
+		f.opArena = f.opArena[:0]
+		f.lueArena = f.lueArena[:0]
+		for k := 0; k < m; k++ {
+			f.ur[k] = nil
+		}
+		for i := range f.ucPtr {
+			f.ucPtr[i] = 0
+		}
+		for i := range f.lrPtr {
+			f.lrPtr[i] = 0
+		}
+		f.ucIdx = f.ucIdx[:0]
+		f.lrIdx = f.lrIdx[:0]
+		f.etas = f.etas[:0]
+		f.etaArena = f.etaArena[:0]
+	}
 	for k := 0; k < m; k++ {
 		f.ud[k] = 1
 		f.permRow[k] = int32(k)
@@ -487,15 +554,9 @@ func (f *luFactor) reset(m int) {
 		f.stepOfRow[k] = int32(k)
 		f.rowOp[k] = -1
 	}
-	f.etas = nil
 	f.etaNnz = 0
 	f.baseNnz = m
 	f.drift = false
-	f.ucPtr = make([]int32, m+1)
-	f.ucIdx = nil
-	f.lrPtr = make([]int32, m+1)
-	f.lrIdx = nil
-	f.lmark = nil
 	f.ensureScratch()
 }
 
@@ -517,11 +578,12 @@ func rowGet(row []ment, pos int32) (float64, bool) {
 	return 0, false
 }
 
-// refactorize factors the basis columns from scratch, replacing every
-// factorization output slice (clones taken earlier keep their own view) and
-// clearing the eta file; the working set comes from the reusable Markowitz
-// scratch. The deadline is checked every 64 elimination steps so a large
-// factorization respects Options.TimeBudget.
+// refactorize factors the basis columns from scratch, rebuilding every
+// factorization output slice — in place when no clone shares them, freshly
+// otherwise (clones taken earlier keep their own view) — and clearing the
+// eta file; the working set comes from the reusable Markowitz scratch. The
+// deadline is checked every 64 elimination steps so a large factorization
+// respects Options.TimeBudget.
 func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) refactorOutcome {
 	m := std.m
 	f.m = m
@@ -562,18 +624,42 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 
 	rowDone := s.rowDone
 	colDone := s.colDone
-	// Factorization outputs: freshly allocated every time because clones
-	// share them immutably. The per-step L multipliers are carved out of
-	// one append-grown arena — slices carved before a growth keep the old
-	// backing array, which is never written again, so sharing stays safe.
-	lops := make([]lop, 0, m/4+1)
-	opArena := make([]entry, 0, 4*m)
-	ur := make([][]lue, m) // built as position-indexed, remapped at the end
-	urPos := make([][]ment, m)
-	uArena := make([]ment, 0, 4*m)
-	ud := make([]float64, m)
-	permRow := make([]int32, m)
-	permPos := make([]int32, m)
+	// Factorization outputs: recycled in place from the previous
+	// refactorization unless a clone shares them, in which case one fresh
+	// allocation round replaces the whole set and the clone keeps the old
+	// arrays untouched. Recycling scribbles over the live representation as
+	// the elimination proceeds, which is fine: every failure exit
+	// (timeout/singular) leads the solver to reset() or abandon the
+	// factorization, never to keep solving with it. The per-step L
+	// multipliers are carved out of one append-grown arena — slices carved
+	// before a growth keep the old backing array, which is never written
+	// again, so publishing stays safe.
+	fresh := f.shared || len(f.ud) != m || f.ur == nil
+	var (
+		lops    []lop
+		opArena []entry
+		ur      [][]lue
+		ud      []float64
+		permRow []int32
+		permPos []int32
+	)
+	if fresh {
+		lops = make([]lop, 0, m/4+1)
+		opArena = make([]entry, 0, 4*m)
+		ur = make([][]lue, m) // built as position-indexed, remapped at the end
+		ud = make([]float64, m)
+		permRow = make([]int32, m)
+		permPos = make([]int32, m)
+	} else {
+		lops = f.lops[:0]
+		opArena = f.opArena[:0]
+		ur = f.ur
+		ud = f.ud
+		permRow = f.permRow
+		permPos = f.permPos
+	}
+	urPos := s.urPos
+	uArena := s.uArena[:0]
 
 	// Stamped row-visited marks dedupe colRows (a row is re-appended when
 	// a dropped entry fills back in).
@@ -796,26 +882,45 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 	// off-diagonal entry belongs to a column eliminated later, so FTRAN's
 	// descending back-substitution and BTRAN's ascending transposed solve
 	// become direct walks.
-	posOfPos := make([]int32, m)
+	var posOfPos []int32
+	if fresh {
+		posOfPos = make([]int32, m)
+	} else {
+		posOfPos = f.posStep
+	}
 	for k, p := range permPos {
 		posOfPos[p] = int32(k)
 	}
+	lueA := f.lueArena[:0]
+	if fresh {
+		lueA = make([]lue, 0, len(uArena))
+	}
 	nnz := m
 	for k, src := range urPos {
-		u := make([]lue, len(src))
-		for i, e := range src {
-			u[i] = lue{k: posOfPos[e.pos], val: e.val}
+		uStart := len(lueA)
+		for _, e := range src {
+			lueA = append(lueA, lue{k: posOfPos[e.pos], val: e.val})
 		}
-		ur[k] = u
-		nnz += len(u)
+		ur[k] = lueA[uStart:len(lueA):len(lueA)]
+		nnz += len(src)
 	}
+	f.lueArena = lueA
 	for _, op := range lops {
 		nnz += len(op.nz)
 	}
 
-	// Transposes for the sparsity-adaptive solves. Freshly allocated like
-	// the factorization they mirror (clones share both).
-	ucPtr := make([]int32, m+1)
+	// Transposes for the sparsity-adaptive solves. Recycled like the
+	// factorization they mirror (clones share both, so `fresh` governs
+	// them too); the fill cursor is pure scratch.
+	var ucPtr []int32
+	if fresh {
+		ucPtr = make([]int32, m+1)
+	} else {
+		ucPtr = f.ucPtr
+		for i := range ucPtr {
+			ucPtr[i] = 0
+		}
+	}
 	for _, u := range ur {
 		for _, e := range u {
 			ucPtr[e.k+1]++
@@ -824,8 +929,13 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 	for k := 0; k < m; k++ {
 		ucPtr[k+1] += ucPtr[k]
 	}
-	ucIdx := make([]int32, ucPtr[m])
-	ucFill := make([]int32, m)
+	ucIdx := f.ucIdx
+	if need := int(ucPtr[m]); fresh || cap(ucIdx) < need {
+		ucIdx = make([]int32, need)
+	} else {
+		ucIdx = ucIdx[:need]
+	}
+	ucFill := s.fill
 	copy(ucFill, ucPtr[:m])
 	for k, u := range ur {
 		for _, e := range u {
@@ -833,7 +943,15 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 			ucFill[e.k]++
 		}
 	}
-	lrPtr := make([]int32, m+1)
+	var lrPtr []int32
+	if fresh {
+		lrPtr = make([]int32, m+1)
+	} else {
+		lrPtr = f.lrPtr
+		for i := range lrPtr {
+			lrPtr[i] = 0
+		}
+	}
 	for li := range lops {
 		for _, nz := range lops[li].nz {
 			lrPtr[nz.row+1]++
@@ -842,7 +960,12 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 	for r := 0; r < m; r++ {
 		lrPtr[r+1] += lrPtr[r]
 	}
-	lrIdx := make([]int32, lrPtr[m])
+	lrIdx := f.lrIdx
+	if need := int(lrPtr[m]); fresh || cap(lrIdx) < need {
+		lrIdx = make([]int32, need)
+	} else {
+		lrIdx = lrIdx[:need]
+	}
 	lrFill := ucFill[:0]
 	lrFill = append(lrFill, lrPtr[:m]...)
 	for li := range lops {
@@ -852,11 +975,17 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 		}
 	}
 
-	stepOfRow := make([]int32, m)
+	var stepOfRow, rowOp []int32
+	if fresh {
+		stepOfRow = make([]int32, m)
+		rowOp = make([]int32, m)
+	} else {
+		stepOfRow = f.stepOfRow
+		rowOp = f.rowOp
+	}
 	for k, r := range permRow {
 		stepOfRow[r] = int32(k)
 	}
-	rowOp := make([]int32, m)
 	for r := range rowOp {
 		rowOp[r] = -1
 	}
@@ -865,6 +994,7 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 	}
 
 	f.lops = lops
+	f.opArena = opArena
 	f.ur = ur
 	f.ud = ud
 	f.permRow = permRow
@@ -874,13 +1004,23 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 	f.rowOp = rowOp
 	f.ucPtr, f.ucIdx = ucPtr, ucIdx
 	f.lrPtr, f.lrIdx = lrPtr, lrIdx
+	s.uArena = uArena[:0]
 	if len(f.lmark) < len(lops) {
 		f.lmark = make([]bool, len(lops))
 	}
 	if len(f.omark) < len(lops) {
 		f.omark = make([]bool, len(lops))
 	}
-	f.etas = nil
+	// The eta headers are private (clone copies them into its own array),
+	// but their nonzero lists live in the arena: rewind it only when no
+	// clone can still be reading the old contents.
+	f.etas = f.etas[:0]
+	if f.shared {
+		f.etaArena = nil
+	} else {
+		f.etaArena = f.etaArena[:0]
+	}
+	f.shared = false
 	f.etaNnz = 0
 	f.baseNnz = nnz
 	f.drift = false
@@ -1047,7 +1187,7 @@ func (f *luFactor) btranUnit(r int, out []float64) {
 func (f *luFactor) update(r int, w []float64) {
 	piv := w[r]
 	maxAbs := math.Abs(piv)
-	nz := make([]entry, 0, 8)
+	start := len(f.etaArena)
 	for i, v := range w {
 		if i == r {
 			continue
@@ -1059,8 +1199,9 @@ func (f *luFactor) update(r int, w []float64) {
 		if a > maxAbs {
 			maxAbs = a
 		}
-		nz = append(nz, entry{row: i, val: v})
+		f.etaArena = append(f.etaArena, entry{row: i, val: v})
 	}
+	nz := f.etaArena[start:len(f.etaArena):len(f.etaArena)]
 	f.etas = append(f.etas, eta{r: int32(r), piv: piv, nz: nz})
 	f.etaNnz += len(nz) + 1
 	if math.Abs(piv) < etaDriftTol*maxAbs {
@@ -1431,7 +1572,7 @@ func (f *luFactor) btranUnitNz(r int, out []float64, prev []int32) []int32 {
 func (f *luFactor) updateNz(r int, w []float64, wnz []int32) {
 	piv := w[r]
 	maxAbs := math.Abs(piv)
-	nz := make([]entry, 0, len(wnz))
+	start := len(f.etaArena)
 	for _, i32 := range wnz {
 		i := int(i32)
 		if i == r {
@@ -1445,8 +1586,9 @@ func (f *luFactor) updateNz(r int, w []float64, wnz []int32) {
 		if a > maxAbs {
 			maxAbs = a
 		}
-		nz = append(nz, entry{row: i, val: v})
+		f.etaArena = append(f.etaArena, entry{row: i, val: v})
 	}
+	nz := f.etaArena[start:len(f.etaArena):len(f.etaArena)]
 	f.etas = append(f.etas, eta{r: int32(r), piv: piv, nz: nz})
 	f.etaNnz += len(nz) + 1
 	if math.Abs(piv) < etaDriftTol*maxAbs {
@@ -1455,13 +1597,18 @@ func (f *luFactor) updateNz(r int, w []float64, wnz []int32) {
 }
 
 // clone deep-snapshots the representation. The factorization slices are
-// immutable after refactorize/reset (both allocate fresh arrays), so they
-// are shared; the eta file gets a fresh backing array because the live
-// solver keeps appending to its own, and the inner eta/op slices are
-// write-once. Scratch buffers are never shared.
+// shared — marking BOTH sides `shared` makes them immutable from here on:
+// the next refactorize/reset on either side allocates fresh arrays instead
+// of recycling these. The eta file gets a fresh header array because the
+// live solver keeps appending to its own; the eta nonzero lists stay on the
+// parent's arena, which the shared flag likewise protects from rewinding
+// (appends past the current length never touch a carved slice — each is
+// capped at its own end). Scratch buffers are never shared.
 func (f *luFactor) clone() factor {
+	f.shared = true
 	return &luFactor{
 		m:         f.m,
+		shared:    true,
 		lops:      f.lops,
 		ur:        f.ur,
 		ud:        f.ud,
@@ -1474,13 +1621,13 @@ func (f *luFactor) clone() factor {
 		ucIdx:     f.ucIdx,
 		lrPtr:     f.lrPtr,
 		lrIdx:     f.lrIdx,
-		etas:    append([]eta(nil), f.etas...),
-		etaNnz:  f.etaNnz,
-		baseNnz: f.baseNnz,
-		drift:   f.drift,
-		xwork:   make([]float64, f.m),
-		zwork:   make([]float64, f.m),
-		umark:   make([]bool, f.m),
-		lmark:   make([]bool, len(f.lops)),
+		etas:      append([]eta(nil), f.etas...),
+		etaNnz:    f.etaNnz,
+		baseNnz:   f.baseNnz,
+		drift:     f.drift,
+		xwork:     make([]float64, f.m),
+		zwork:     make([]float64, f.m),
+		umark:     make([]bool, f.m),
+		lmark:     make([]bool, len(f.lops)),
 	}
 }

@@ -266,6 +266,14 @@ type Solution struct {
 	ReducedCost []float64
 	// Iterations counts simplex pivots (both phases).
 	Iterations int
+	// Refactors counts basis refactorizations performed by the solve.
+	Refactors int
+	// PricingUsed is the entering-variable rule the solve actually ran
+	// with after PricingAuto resolution (PricingDantzig or PricingDevex).
+	PricingUsed PricingRule
+	// DualCold reports that the solve reached primal feasibility through
+	// the dual-simplex cold start (ColdDual, or ColdAuto resolving to it).
+	DualCold bool
 	// Residual is the solution health check: the worst relative violation
 	// of any constraint row or variable bound by the reported X, computed
 	// in model space after an Optimal solve (0 otherwise). A correct
@@ -332,6 +340,13 @@ type SolveStats struct {
 	// used (installed primal feasible, or repaired by dual cleanup) —
 	// attempts that fell back cold are not counted.
 	WarmStarts int
+	// DevexSolves counts solves whose final phase priced with devex
+	// (explicitly requested, or chosen by PricingAuto).
+	DevexSolves int
+	// DualColdStarts counts cold solves that reached primal feasibility
+	// through the dual simplex (attempts that fell back primal are not
+	// counted).
+	DualColdStarts int
 }
 
 // Merge adds other's counts into s.
@@ -342,6 +357,8 @@ func (s *SolveStats) Merge(other SolveStats) {
 	s.TimeBudgetHits += other.TimeBudgetHits
 	s.IterLimitHits += other.IterLimitHits
 	s.WarmStarts += other.WarmStarts
+	s.DevexSolves += other.DevexSolves
+	s.DualColdStarts += other.DualColdStarts
 }
 
 // record folds one raw simplex outcome into the totals.
@@ -358,6 +375,76 @@ func (s *SolveStats) record(res result) {
 	if res.warm {
 		s.WarmStarts++
 	}
+	if res.pricing == PricingDevex {
+		s.DevexSolves++
+	}
+	if res.dualCold {
+		s.DualColdStarts++
+	}
+}
+
+// PricingRule selects the entering-variable rule of the primal simplex.
+type PricingRule string
+
+// Pricing rules. The zero value is PricingAuto.
+const (
+	// PricingAuto lets the solver choose: devex for cold solves at
+	// hyper-sparse scale (m >= 4096 rows, where the Dantzig/partial rule
+	// pays ~10^5 pivots on the degenerate staircase plateau), the classic
+	// Dantzig/partial hybrid everywhere else. Warm-started solves keep the
+	// classic rule so their pivot streams — pinned by the golden-trace
+	// suite and the warm-resolve benchmarks — stay byte-identical.
+	PricingAuto PricingRule = ""
+	// PricingDantzig forces the classic rule: a full Dantzig scan on
+	// narrow LPs, candidate-list partial pricing on wide ones.
+	PricingDantzig PricingRule = "dantzig"
+	// PricingDevex forces devex pricing (Forrest–Goldfarb reference
+	// weights) in both simplex phases regardless of model size.
+	PricingDevex PricingRule = "devex"
+)
+
+// normalize maps aliases to canonical values and rejects junk.
+func (p PricingRule) normalize() (PricingRule, error) {
+	switch p {
+	case PricingAuto, "auto":
+		return PricingAuto, nil
+	case PricingDantzig, PricingDevex:
+		return p, nil
+	}
+	return p, fmt.Errorf("lp: unknown pricing rule %q", string(p))
+}
+
+// ColdStrategy selects how a solve without a usable warm basis reaches
+// primal feasibility.
+type ColdStrategy string
+
+// Cold-start strategies. The zero value is ColdAuto.
+const (
+	// ColdAuto lets the solver choose. Today that is always the primal
+	// route (staged start on large LPs, classic artificial-cost phase 1
+	// otherwise): the dual cold start was measured counterproductive at
+	// Paper scale (~137k pivots vs ~29k for staged-primal-with-devex,
+	// at a higher per-pivot cost) because the dual ratio test lacks
+	// bound-flipping long steps, so auto never selects it.
+	ColdAuto ColdStrategy = ""
+	// ColdPrimal forces the primal route regardless of model size.
+	ColdPrimal ColdStrategy = "primal"
+	// ColdDual forces the dual-simplex cold start (with the primal route
+	// still as fallback when a dual-feasible start cannot be flipped into
+	// existence or the dual loop fails). Explicit opt-in only — see
+	// ColdAuto for why auto never picks it.
+	ColdDual ColdStrategy = "dual"
+)
+
+// normalize maps aliases to canonical values and rejects junk.
+func (c ColdStrategy) normalize() (ColdStrategy, error) {
+	switch c {
+	case ColdAuto, "auto":
+		return ColdAuto, nil
+	case ColdPrimal, ColdDual:
+		return c, nil
+	}
+	return c, fmt.Errorf("lp: unknown cold-start strategy %q", string(c))
 }
 
 // Options tunes the solver.
@@ -396,6 +483,15 @@ type Options struct {
 	// refactorizations, budget hits, warm-start uses) across Solve calls.
 	// The pointer is read once per solve; it adds no per-pivot cost.
 	Stats *SolveStats
+	// Pricing selects the entering-variable rule: PricingAuto (default,
+	// devex on large cold solves, classic hybrid elsewhere),
+	// PricingDantzig, or PricingDevex. Unknown values fail the Solve.
+	Pricing PricingRule
+	// ColdStrategy selects how a cold solve reaches primal feasibility:
+	// ColdAuto (default, the primal route — see the constant for why auto
+	// never picks dual), ColdPrimal, or ColdDual. Unknown values fail the
+	// Solve.
+	ColdStrategy ColdStrategy
 	// Presolve runs a model-reduction pass before the simplex (drop empty
 	// and redundant rows, fix equal-bound and dominated variables, turn
 	// singleton rows into bounds) and maps the reduced solution back to the
@@ -416,6 +512,8 @@ func (o Options) withDefaults(n, m int) Options {
 	if o.Tol <= 0 {
 		o.Tol = 1e-9
 	}
+	o.Pricing, _ = o.Pricing.normalize()
+	o.ColdStrategy, _ = o.ColdStrategy.normalize()
 	if o.MaxIters <= 0 {
 		o.MaxIters = 2000 + 40*(n+m)
 	}
@@ -432,6 +530,12 @@ func (o Options) withDefaults(n, m int) Options {
 // is not modified (Solve only refreshes internal caches), so it can be
 // re-solved after edits.
 func (m *Model) Solve(opts Options) (*Solution, error) {
+	if _, err := opts.Pricing.normalize(); err != nil {
+		return nil, err
+	}
+	if _, err := opts.ColdStrategy.normalize(); err != nil {
+		return nil, err
+	}
 	if opts.Presolve {
 		return m.solvePresolved(opts)
 	}
@@ -447,6 +551,9 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 	sol := &Solution{
 		Status:      res.status,
 		Iterations:  res.iters,
+		Refactors:   res.refactors,
+		PricingUsed: res.pricing,
+		DualCold:    res.dualCold,
 		X:           make([]float64, m.NumVars()),
 		Dual:        make([]float64, m.NumRows()),
 		ReducedCost: make([]float64, m.NumVars()),

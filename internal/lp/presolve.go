@@ -501,6 +501,9 @@ func (m *Model) solvePresolved(opts Options) (*Solution, error) {
 	sol := &Solution{
 		Status:      redSol.Status,
 		Iterations:  redSol.Iterations,
+		Refactors:   redSol.Refactors,
+		PricingUsed: redSol.PricingUsed,
+		DualCold:    redSol.DualCold,
 		X:           make([]float64, nv),
 		Dual:        make([]float64, nr),
 		ReducedCost: make([]float64, nv),

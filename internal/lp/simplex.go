@@ -268,9 +268,11 @@ type result struct {
 	y         []float64 // per row (duals of the minimization problem)
 	d         []float64 // reduced costs per standardized column
 	iters     int
-	refactors int    // basis refactorizations performed
-	warm      bool   // a supplied warm basis was actually used
-	basis     *Basis // terminal basis (Optimal and Infeasible outcomes)
+	refactors int         // basis refactorizations performed
+	warm      bool        // a supplied warm basis was actually used
+	pricing   PricingRule // entering rule the final phase ran with
+	dualCold  bool        // primal feasibility came from the dual cold start
+	basis     *Basis      // terminal basis (Optimal and Infeasible outcomes)
 }
 
 // state is the revised-simplex working state. The basis representation
@@ -305,6 +307,37 @@ type state struct {
 	// bOrig holds the standardization's pristine right-hand side while the
 	// staged start's perturbed copy is swapped into std.b (nil otherwise).
 	bOrig []float64
+	// cOrig holds the pristine phase-2 costs while the dual cold start's
+	// perturbed copy is swapped into std.c (nil otherwise).
+	cOrig []float64
+
+	// pricing is the resolved entering-variable rule for the current
+	// optimize call (PricingDantzig = classic Dantzig/partial hybrid).
+	pricing PricingRule
+
+	// Devex pricing state (allocated on first use). dRed maintains every
+	// column's reduced cost incrementally across pivots — refreshed from
+	// scratch at refactorization points — and dvxW holds the Forrest–
+	// Goldfarb reference weights, reset to 1 whenever the reference
+	// framework is rebuilt (refactorization, or weight blow-up).
+	dRed []float64
+	dvxW []float64
+
+	// Row-wise copy of the standardized matrix (CSR over constraint rows),
+	// built lazily for the devex and dual-cold paths: the pivot row
+	// alpha = rho·A is assembled by scattering each nonzero row of rho
+	// through its matrix row instead of n column dot products.
+	rowPtr []int32
+	rowCol []int32
+	rowVal []float64
+	// Pivot-row scratch: alphaBuf is dense over columns, alphaNz lists the
+	// (deduplicated) touched columns, alphaMark backs the dedup.
+	alphaBuf  []float64
+	alphaNz   []int32
+	alphaMark []bool
+
+	// dualW holds the dual devex reference weights, per basis row.
+	dualW []float64
 }
 
 // timedOut reports whether the wall-clock budget has expired. The check
@@ -352,9 +385,11 @@ func (std *standard) solve(opts Options) result {
 	}
 	st.fac.reset(m)
 	// The staged start may swap a perturbed right-hand side into the cached
-	// standardization; whatever path the solve exits through, the pristine
-	// slice goes back so later solves start from unperturbed data.
+	// standardization (and the dual cold start a perturbed c); whatever path
+	// the solve exits through, the pristine slices go back so later solves
+	// start from unperturbed data.
 	defer st.restoreB()
+	defer st.restoreC()
 
 	warm := false
 	if opts.WarmBasis.matches(std) {
@@ -371,6 +406,23 @@ func (std *standard) solve(opts Options) result {
 			warm = st.dualCleanup()
 		}
 	}
+
+	// Resolve the entering rule. Explicit choices always win; auto keeps the
+	// classic Dantzig/partial hybrid except on large cold solves, where devex
+	// pays for its maintained state many times over. The m gate doubles as
+	// the byte-identity shield: every golden-trace model sits below it, and
+	// warm re-solves (a handful of pivots, sequences pinned by the golden
+	// suite) stay on the classic rule.
+	st.pricing = PricingDantzig
+	switch {
+	case opts.Pricing == PricingDevex:
+		st.pricing = PricingDevex
+	case opts.Pricing == PricingDantzig:
+	case m >= stagedStartMinRows && !warm:
+		st.pricing = PricingDevex
+	}
+
+	dualCold := false
 	if warm {
 		// The basis is now primal feasible, so phase 1 is unnecessary;
 		// basic artificials (all verified ~0) are expelled where possible,
@@ -384,24 +436,47 @@ func (std *standard) solve(opts Options) result {
 	} else {
 		st.coldInit()
 
+		// Cold-start strategy. The dual route (dual simplex from the slack
+		// basis, perturbed costs) replaces both primal phases when it
+		// succeeds, but it is explicit-only: auto never selects it. Measured
+		// at Paper scale (m=9104, n=33582) the dual loop needs ~137k pivots
+		// — 4.7× the staged-primal-with-devex count — because without a
+		// bound-flipping (long-step) dual ratio test each pivot retires one
+		// bound violation at a time, and each pivot also pays a denser
+		// BTRAN/FTRAN pair. Until long steps land, forcing dual would
+		// regress every large cold solve. Any dual failure falls through to
+		// the primal routes, which remain authoritative for infeasibility.
+		if opts.ColdStrategy == ColdDual {
+			switch st.dualColdStart() {
+			case stagedDone:
+				dualCold = true
+				st.restoreC()
+			case stagedTimeout:
+				return result{status: TimeLimit, iters: st.iters, refactors: st.refactors, pricing: st.pricing}
+			case stagedFallback:
+				st.restoreC()
+				st.coldInit()
+			}
+		}
+
 		// Phase 1: make the basis primal feasible. Large LPs take the
 		// staged route (relax the infeasible rows, optimize the real
 		// objective, repair with the dual simplex); if it declines or
 		// fails, and always on small LPs, the classic artificial-cost
 		// phase 1 decides feasibility.
 		staged := false
-		if m >= stagedStartMinRows {
+		if !dualCold && m >= stagedStartMinRows {
 			switch st.stagedStart() {
 			case stagedDone:
 				staged = true
 			case stagedTimeout:
-				return result{status: TimeLimit, iters: st.iters, refactors: st.refactors}
+				return result{status: TimeLimit, iters: st.iters, refactors: st.refactors, pricing: st.pricing}
 			case stagedFallback:
 				st.restoreB()
 				st.coldInit()
 			}
 		}
-		if !staged {
+		if !dualCold && !staged {
 			// Classic phase 1: minimize the sum of artificial values.
 			needPhase1 := false
 			c1 := make([]float64, std.n)
@@ -414,7 +489,7 @@ func (std *standard) solve(opts Options) result {
 			if needPhase1 {
 				status := st.optimize(c1, false)
 				if status == IterLimit || status == TimeLimit {
-					return result{status: status, iters: st.iters, refactors: st.refactors}
+					return result{status: status, iters: st.iters, refactors: st.refactors, pricing: st.pricing}
 				}
 				infeas := 0.0
 				for i, j := range st.basis {
@@ -423,16 +498,20 @@ func (std *standard) solve(opts Options) result {
 					}
 				}
 				if infeas > 1e-7 {
-					return result{status: Infeasible, iters: st.iters, refactors: st.refactors, basis: st.capture()}
+					return result{status: Infeasible, iters: st.iters, refactors: st.refactors, pricing: st.pricing, basis: st.capture()}
 				}
 				st.expelArtificials()
 			}
 		}
 	}
 
-	// Phase 2: the real objective, artificials locked out of pricing.
+	// Phase 2: the real objective, artificials locked out of pricing. After
+	// a dual cold start this re-optimizes the pristine costs from the
+	// perturbed optimum — dual feasibility is already within the
+	// perturbation's width, so only a handful of pivots remain.
 	status := st.optimize(std.c, true)
-	res := result{status: status, iters: st.iters, refactors: st.refactors, warm: warm}
+	res := result{status: status, iters: st.iters, refactors: st.refactors,
+		warm: warm, pricing: st.pricing, dualCold: dualCold}
 	if status != Optimal {
 		return res
 	}
@@ -882,6 +961,258 @@ func (st *state) priceBland(costs, y []float64, skipArt bool) (q int, fromUpper 
 	return -1, false, 0
 }
 
+// ensureRowA builds the row-wise (CSR) copy of the standardized matrix the
+// devex and dual-cold paths price with, plus the pivot-row scratch. Built
+// once per solve; the standardization's structure is immutable while a
+// solve runs, so no invalidation is needed.
+func (st *state) ensureRowA() {
+	if st.rowPtr != nil {
+		return
+	}
+	std := st.std
+	nnz := 0
+	for _, col := range std.cols {
+		nnz += len(col)
+	}
+	ptr := make([]int32, std.m+1)
+	for _, col := range std.cols {
+		for _, e := range col {
+			ptr[e.row+1]++
+		}
+	}
+	for i := 0; i < std.m; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	cols := make([]int32, nnz)
+	vals := make([]float64, nnz)
+	fill := make([]int32, std.m)
+	copy(fill, ptr[:std.m])
+	// Columns are walked in ascending order, so each row's entries come out
+	// sorted by column — the deterministic order every consumer relies on.
+	for j, col := range std.cols {
+		for _, e := range col {
+			cols[fill[e.row]] = int32(j)
+			vals[fill[e.row]] = e.val
+			fill[e.row]++
+		}
+	}
+	st.rowPtr, st.rowCol, st.rowVal = ptr, cols, vals
+	st.alphaBuf = make([]float64, std.n)
+	st.alphaMark = make([]bool, std.n)
+	st.alphaNz = make([]int32, 0, 256)
+}
+
+// pivotRow assembles the tableau pivot row alpha = rho·A into alphaBuf,
+// recording the touched columns in alphaNz. rho is the output of the last
+// rowOfInverse call; in hyper-sparse mode only its nonzero rows are
+// scattered, so the cost tracks the rows' fill instead of n dot products.
+// The previous call's entries are cleared first, so alphaBuf stays exactly
+// zero off the current list.
+func (st *state) pivotRow(rho []float64) {
+	for _, j := range st.alphaNz {
+		st.alphaBuf[j] = 0
+		st.alphaMark[j] = false
+	}
+	nz := st.alphaNz[:0]
+	rowPtr, rowCol, rowVal := st.rowPtr, st.rowCol, st.rowVal
+	alphaBuf, alphaMark := st.alphaBuf, st.alphaMark
+	if st.useNz {
+		for _, i32 := range st.rhoNz {
+			i := int(i32)
+			v := rho[i]
+			if v == 0 {
+				continue
+			}
+			for idx := rowPtr[i]; idx < rowPtr[i+1]; idx++ {
+				j := rowCol[idx]
+				if !alphaMark[j] {
+					alphaMark[j] = true
+					nz = append(nz, j)
+				}
+				alphaBuf[j] += v * rowVal[idx]
+			}
+		}
+	} else {
+		for i := 0; i < st.std.m; i++ {
+			v := rho[i]
+			if v == 0 {
+				continue
+			}
+			for idx := rowPtr[i]; idx < rowPtr[i+1]; idx++ {
+				j := rowCol[idx]
+				if !alphaMark[j] {
+					alphaMark[j] = true
+					nz = append(nz, j)
+				}
+				alphaBuf[j] += v * rowVal[idx]
+			}
+		}
+	}
+	st.alphaNz = nz
+}
+
+// dvxResetLimit bounds the devex reference weights: when the entering
+// column's weight exceeds it the reference framework has drifted too far
+// from the current nonbasic set and the weights reset to 1 (the classic
+// devex restart). Refactorizations reset them too — the maintained reduced
+// costs are refreshed there anyway, and restarting both together keeps the
+// two approximations aligned with the same basis snapshot.
+const dvxResetLimit = 1e7
+
+// dRedRefresh recomputes the maintained reduced costs from scratch under
+// the current basis (one BTRAN + a pass over the matrix). The reference
+// weights are left alone: they carry cross-refactorization memory of the
+// edge norms, which is exactly what makes devex better than Dantzig — at
+// the hyper-sparse refactorization cadence (every 256 pivots), resetting
+// them too would keep the rule near-Dantzig almost all the time.
+func (st *state) dRedRefresh(costs []float64) {
+	std := st.std
+	if st.dRed == nil {
+		st.dRed = make([]float64, std.n)
+		st.dvxW = make([]float64, std.n)
+		for j := range st.dvxW {
+			st.dvxW[j] = 1
+		}
+	}
+	y := st.duals(costs)
+	for j := 0; j < std.n; j++ {
+		if st.basePos[j] != 0 {
+			st.dRed[j] = 0
+			continue
+		}
+		st.dRed[j] = st.reducedCost(costs, y, j)
+	}
+}
+
+// devexReset refreshes the maintained reduced costs AND restarts the devex
+// reference framework (all weights back to 1, reference set = the current
+// nonbasic set). Used at phase entry and on weight blow-up.
+func (st *state) devexReset(costs []float64) {
+	st.dRedRefresh(costs)
+	for j := range st.dvxW {
+		st.dvxW[j] = 1
+	}
+}
+
+// priceDevex picks the entering column maximizing violation²/weight over
+// the maintained reduced costs — the devex approximation of the steepest-
+// edge criterion. It is a plain O(n) array scan: no dot products, because
+// dRed is maintained incrementally by the pivot loop.
+func (st *state) priceDevex(skipArt bool) (q int, fromUpper bool, qD float64) {
+	std := st.std
+	q = -1
+	tol := st.tol
+	// The scan is the single hottest loop of a large cold solve, so it is
+	// arranged to reject a column from the sequentially-read dRed value
+	// alone wherever possible: the sign tests discard every well-priced
+	// column before any other array is touched, and only genuine
+	// candidates pay for the weight load and the division. The score
+	// arithmetic itself is kept bit-identical to the textbook viol²/w
+	// form — "cheaper" algebra (cross-multiplied comparisons) rounds
+	// differently, perturbs the pivot sequence, and measurably degrades
+	// the trajectory on the paper-scale models.
+	dRed, dvxW := st.dRed, st.dvxW
+	atUpper, basePos, art := st.atUpper, st.basePos, std.art
+	best := 0.0
+	for j, d := range dRed {
+		var viol float64
+		var fu bool
+		if d < -tol {
+			if atUpper[j] {
+				continue
+			}
+			viol = -d
+		} else if d > tol && atUpper[j] {
+			viol, fu = d, true
+		} else {
+			continue
+		}
+		if basePos[j] != 0 || (skipArt && art[j]) {
+			continue
+		}
+		if score := viol * viol / dvxW[j]; score > best {
+			best, q, fromUpper, qD = score, j, fu, d
+		}
+	}
+	return q, fromUpper, qD
+}
+
+// priceBlandMaintained is Bland's rule over the maintained reduced costs
+// (devex mode has no incrementally maintained duals to recompute from).
+func (st *state) priceBlandMaintained(skipArt bool) (q int, fromUpper bool, qD float64) {
+	std := st.std
+	for j := 0; j < std.n; j++ {
+		if st.basePos[j] != 0 || (skipArt && std.art[j]) {
+			continue
+		}
+		if viol, fu := st.violation(j, st.dRed[j]); viol != 0 {
+			return j, fu, st.dRed[j]
+		}
+	}
+	return -1, false, 0
+}
+
+// dualPerturb scales the dual cold start's deterministic cost perturbation.
+// It is relative (each nonzero cost moves by ~1e-10 of itself, away from
+// zero so no sign ever flips) and exists for the same reason the staged
+// start perturbs b: SAM-shaped LPs repeat the same value coefficient across
+// every route and timestep of a demand, so the dual ratio test ties
+// massively and the dual simplex would stall on zero-length dual steps.
+// The perturbation is swapped out before the final primal phase runs, which
+// re-optimizes the handful of pivots the perturbation displaced.
+const dualPerturb = 1e-10
+
+// perturbC replaces std.c with a deterministically perturbed copy, parking
+// the pristine slice in st.cOrig; restoreC undoes the swap. Nonzero costs
+// move multiplicatively (signs preserved, so the bound-flip pattern of the
+// dual-feasible start is unaffected); zero-cost non-artificial columns —
+// the slack/surplus logicals — get a tiny positive cost instead: they rest
+// at their lower bound, where d = +ε stays dual feasible, and the ε breaks
+// the zero-ratio ties that would otherwise make every dual step through
+// them degenerate. Artificials stay at exactly zero (they are basic until
+// expelled and never re-enter, so their cost only muddies the duals).
+func (st *state) perturbC() {
+	if st.cOrig != nil {
+		return
+	}
+	std := st.std
+	st.cOrig = std.c
+	scale := 0.0
+	for _, v := range std.c {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	cp := make([]float64, len(std.c))
+	h := uint64(0xD1B54A32D192ED03)
+	for j, v := range std.c {
+		h ^= uint64(j)*0xBF58476D1CE4E5B9 + (h << 13) + (h >> 7)
+		u := 1 + float64(h>>40)/float64(1<<24) // deterministic, in [1, 2)
+		switch {
+		case v != 0:
+			cp[j] = v * (1 + dualPerturb*u)
+		case std.art[j]:
+			cp[j] = 0
+		default:
+			cp[j] = dualPerturb * u * scale
+		}
+	}
+	std.c = cp
+}
+
+// restoreC swaps the pristine costs back in (no-op when no perturbation is
+// active). The cached standardization must never leak perturbed costs into
+// a later solve.
+func (st *state) restoreC() {
+	if st.cOrig != nil {
+		st.std.c = st.cOrig
+		st.cOrig = nil
+	}
+}
+
 // needsRefactor reports that the periodic cadence or the kernel's own
 // growth/drift policy asks for a refactorization before the next pivot.
 func (st *state) needsRefactor() bool {
@@ -1028,6 +1359,221 @@ func (st *state) dualCleanup() bool {
 	}
 }
 
+// dualColdStart replaces both phases of the primal simplex on a cold solve:
+// starting from the slack/artificial basis (already installed by coldInit),
+// it reaches dual feasibility with bound flips alone — the initial duals are
+// zero, so a nonbasic column's reduced cost is its objective coefficient,
+// and any column priced wrong at its lower bound just flips to its upper —
+// then runs the bounded-variable dual simplex with dual devex row weights
+// until primal feasibility. Because every artificial is held to an effective
+// upper bound of zero, driving the basics into bounds IS phase 1; and
+// because dual feasibility is maintained throughout, the terminal basis is
+// optimal for the perturbed costs, leaving the final primal phase 2 a
+// handful of cleanup pivots on the pristine ones.
+//
+// Returns stagedDone with a primal-feasible (and dual-feasible) basis,
+// stagedFallback when the route cannot proceed (a negative-cost column with
+// an infinite upper bound, a dead ratio test, numerics — the primal path is
+// the authoritative fallback), or stagedTimeout. The caller owns restoreC.
+func (st *state) dualColdStart() stagedOutcome {
+	std := st.std
+	m := std.m
+	const pivTol = 1e-9
+	st.perturbC()
+	costs := std.c
+
+	// Bound flips to dual feasibility. A column that prices wrong at its
+	// lower bound but has no finite upper cannot be made dual feasible
+	// without pivoting — decline and let the primal route handle it.
+	for j := 0; j < std.n; j++ {
+		if std.art[j] || st.basePos[j] != 0 {
+			continue
+		}
+		if costs[j] < -st.tol {
+			if math.IsInf(std.up[j], 1) {
+				return stagedFallback
+			}
+			st.atUpper[j] = true
+		}
+	}
+	st.recomputeXB()
+	st.ensureRowA()
+	st.devexReset(costs)
+	if st.dualW == nil {
+		st.dualW = make([]float64, m)
+	}
+	for i := range st.dualW {
+		st.dualW[i] = 1
+	}
+
+	for {
+		if st.iters >= st.maxIter || st.timedOut() {
+			return stagedTimeout
+		}
+		if st.needsRefactor() {
+			switch st.refactor() {
+			case refactorOK:
+				st.dRedRefresh(costs)
+			case refactorTimeout:
+				return stagedTimeout
+			default:
+				return stagedFallback
+			}
+		}
+
+		// Leaving row: largest primal infeasibility²/weight (dual devex — the
+		// row weights approximate the steepest-edge norms of the dual step).
+		r, below := -1, false
+		best := 0.0
+		for i := 0; i < m; i++ {
+			viol := -st.xB[i]
+			vBelow := true
+			if v := st.xB[i] - st.effUpper(st.basis[i]); v > viol {
+				viol, vBelow = v, false
+			}
+			if viol <= warmFeasTol {
+				continue
+			}
+			if score := viol * viol / st.dualW[i]; score > best {
+				best, r, below = score, i, vBelow
+			}
+		}
+		if r < 0 {
+			// Primal feasible; clamp roundoff residue like the primal loop.
+			for i := 0; i < m; i++ {
+				if st.xB[i] < 0 {
+					st.xB[i] = 0
+				}
+			}
+			return stagedDone
+		}
+
+		// Dual ratio test over row r of the tableau, assembled sparsely from
+		// the row of the inverse (alphaBuf is exactly zero off alphaNz, so
+		// only touched columns can be eligible). Same eligibility and
+		// smallest-|d|/|α| rule as dualCleanup; the cost perturbation breaks
+		// the massive SAM ties that would otherwise stall the dual steps.
+		rho := st.rowOfInverse(r)
+		st.pivotRow(rho)
+		q, bestRatio := -1, math.Inf(1)
+		for _, jj := range st.alphaNz {
+			j := int(jj)
+			if st.basePos[j] != 0 || std.art[j] {
+				continue
+			}
+			alpha := st.alphaBuf[j]
+			ok := false
+			if below {
+				// xB[r] must increase: raising an at-lower column with
+				// alpha<0, or lowering an at-upper column with alpha>0.
+				ok = (!st.atUpper[j] && alpha < -pivTol) || (st.atUpper[j] && alpha > pivTol)
+			} else {
+				ok = (!st.atUpper[j] && alpha > pivTol) || (st.atUpper[j] && alpha < -pivTol)
+			}
+			if !ok {
+				continue
+			}
+			if ratio := math.Abs(st.dRed[j]) / math.Abs(alpha); ratio < bestRatio ||
+				(ratio == bestRatio && q >= 0 && j < q) {
+				q, bestRatio = j, ratio
+			}
+		}
+		if q < 0 {
+			// Dual unbounded up to tolerance: primal infeasible for the
+			// perturbed problem. The perturbation is far below any model
+			// data, but infeasibility verdicts belong to the primal phase 1.
+			return stagedFallback
+		}
+
+		w := st.ftranCol(q)
+		wr := w[r]
+		if math.Abs(wr) < pivTol {
+			return stagedFallback // numerically unusable pivot
+		}
+		sigma := 1.0
+		if st.atUpper[q] {
+			sigma = -1
+		}
+		target := 0.0
+		if !below {
+			target = st.effUpper(st.basis[r])
+		}
+		t := (st.xB[r] - target) / (sigma * wr)
+		if t < 0 {
+			if t < -warmFeasTol {
+				return stagedFallback // eligibility and pivot sign disagree
+			}
+			t = 0
+		}
+		st.stepXB(t, sigma, w)
+		enterVal := t
+		if st.atUpper[q] {
+			enterVal = std.up[q] - t
+		}
+
+		// Maintained reduced costs through the pivot row, then the dual
+		// devex row weights through the tableau column (the dual step's
+		// transformation is the transpose of the primal one, so the roles
+		// of α and w swap).
+		alphaQ := st.alphaBuf[q]
+		thetaD := st.dRed[q] / alphaQ
+		leavingCol := st.basis[r]
+		for _, jj := range st.alphaNz {
+			j := int(jj)
+			if st.basePos[j] != 0 || j == q {
+				continue
+			}
+			st.dRed[j] -= thetaD * st.alphaBuf[j]
+		}
+		st.dRed[leavingCol] = -thetaD
+		st.dRed[q] = 0
+		wrr := st.dualW[r]
+		resetDualW := false
+		dualStep := func(i int) {
+			if i == r {
+				return
+			}
+			if wgt := (w[i] / wr) * (w[i] / wr) * wrr; wgt > st.dualW[i] {
+				st.dualW[i] = wgt
+				if wgt > dvxResetLimit {
+					resetDualW = true
+				}
+			}
+		}
+		if st.useNz {
+			for _, i32 := range st.wNz {
+				dualStep(int(i32))
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				dualStep(i)
+			}
+		}
+		if wgt := wrr / (wr * wr); wgt > 1 {
+			st.dualW[r] = wgt
+			if wgt > dvxResetLimit {
+				resetDualW = true
+			}
+		} else {
+			st.dualW[r] = 1
+		}
+		if resetDualW {
+			// Same restart rule as the primal weights: past the limit the
+			// reference framework no longer approximates anything useful.
+			for i := range st.dualW {
+				st.dualW[i] = 1
+			}
+		}
+
+		st.applyPivot(q, r, w)
+		st.xB[r] = enterVal
+		// The leaving variable rests at the bound it was pushed to; an
+		// artificial's "upper" bound is its lower bound, zero.
+		st.atUpper[leavingCol] = !below && !std.art[leavingCol]
+		st.iters++
+	}
+}
+
 // optimize runs the bounded-variable revised simplex to optimality under
 // the given cost vector. When skipArt is true, artificial columns never
 // enter the basis.
@@ -1035,10 +1581,21 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 	std := st.std
 	m := std.m
 	stall := 0
-	// Duals are maintained incrementally across pivots (y' = y +
-	// (d_q/w_r)·ρ_r with ρ_r the leaving row of the old inverse) and
-	// recomputed from scratch only at refactorization points.
-	y := st.duals(costs)
+	devex := st.pricing == PricingDevex
+	// Under classic pricing the duals are maintained incrementally across
+	// pivots (y' = y + (d_q/w_r)·ρ_r with ρ_r the leaving row of the old
+	// inverse) and recomputed from scratch only at refactorization points.
+	// Devex maintains the reduced costs themselves instead — no duals in the
+	// loop: each pivot pushes the tableau pivot row through dRed, and
+	// refactorization points refresh dRed from scratch alongside the
+	// reference weights.
+	var y []float64
+	if devex {
+		st.ensureRowA()
+		st.devexReset(costs)
+	} else {
+		y = st.duals(costs)
+	}
 	st.cand = st.cand[:0]
 	for {
 		if st.iters >= st.maxIter {
@@ -1050,7 +1607,11 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 		if st.needsRefactor() {
 			switch st.refactor() {
 			case refactorOK:
-				y = st.duals(costs)
+				if devex {
+					st.dRedRefresh(costs)
+				} else {
+					y = st.duals(costs)
+				}
 			case refactorTimeout:
 				return TimeLimit
 			default:
@@ -1058,19 +1619,40 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 			}
 		}
 
-		// Pricing: Dantzig on narrow LPs, candidate-list partial pricing on
-		// wide ones, Bland under stalling.
+		// Pricing: devex when resolved on; otherwise Dantzig on narrow LPs
+		// and candidate-list partial pricing on wide ones. Bland under
+		// stalling in either mode.
 		bland := stall > 64
 		var q int
 		var qD float64
 		var qFromUpper bool
 		switch {
+		case bland && devex:
+			// Bland's anti-cycling guarantee needs exact reduced-cost signs,
+			// so refresh the maintained array once at the start of each stall
+			// episode (it stays maintained through the episode's pivots —
+			// refreshing every pick would cost a BTRAN + matrix pass per
+			// degenerate pivot, and long degenerate plateaus are exactly when
+			// this path runs).
+			if stall == 65 {
+				st.dRedRefresh(costs)
+			}
+			q, qFromUpper, qD = st.priceBlandMaintained(skipArt)
 		case bland:
 			q, qFromUpper, qD = st.priceBland(costs, y, skipArt)
+		case devex:
+			q, qFromUpper, qD = st.priceDevex(skipArt)
 		case std.n >= partialPricingMinCols:
 			q, qFromUpper, qD = st.pricePartial(costs, y, skipArt)
 		default:
 			q, qFromUpper, qD = st.priceDantzig(costs, y, skipArt)
+		}
+		if q < 0 && devex && !bland {
+			// The maintained reduced costs drift with the pivot count; an
+			// optimality claim is accepted only after a from-scratch refresh
+			// (exact, via BTRAN) re-prices clean.
+			st.dRedRefresh(costs)
+			q, qFromUpper, qD = st.priceDevex(skipArt)
 		}
 		if q < 0 {
 			if st.useNz {
@@ -1168,21 +1750,57 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 			enterVal = std.up[q] - tMax
 		}
 		st.stepXB(tMax, sigma, w)
-		// Dual update before the representation changes: y += (d_q/w_r)·ρ_r
-		// with ρ_r the leaving row of the *old* inverse (one BTRAN on the
-		// sparse kernel, a row read on the dense one).
-		theta := qD / w[leave]
+		// Dual-side update before the representation changes, through the
+		// leaving row ρ_r of the *old* inverse (one BTRAN on the sparse
+		// kernel, a row read on the dense one). Classic mode updates the
+		// maintained duals; devex mode assembles the tableau pivot row
+		// α = ρ_r·A and pushes it through the maintained reduced costs and
+		// reference weights instead.
 		rho := st.rowOfInverse(leave)
-		if st.useNz {
-			for _, k := range st.rhoNz {
-				y[k] += theta * rho[k]
+		leavingCol := st.basis[leave]
+		resetDevex := false
+		if devex {
+			st.pivotRow(rho)
+			wr := w[leave]
+			thetaD := qD / wr
+			wq := st.dvxW[q]
+			for _, jj := range st.alphaNz {
+				j := int(jj)
+				if st.basePos[j] != 0 || j == q {
+					continue
+				}
+				a := st.alphaBuf[j]
+				st.dRed[j] -= thetaD * a
+				if wgt := (a / wr) * (a / wr) * wq; wgt > st.dvxW[j] {
+					st.dvxW[j] = wgt
+					if wgt > dvxResetLimit {
+						resetDevex = true
+					}
+				}
 			}
+			// The leaving variable goes nonbasic with reduced cost -θ_D and
+			// inherits the entering column's weight through the pivot.
+			st.dRed[leavingCol] = -thetaD
+			st.dvxW[leavingCol] = 1
+			if wgt := wq / (wr * wr); wgt > 1 {
+				st.dvxW[leavingCol] = wgt
+				if wgt > dvxResetLimit {
+					resetDevex = true
+				}
+			}
+			st.dRed[q] = 0
 		} else {
-			for k := 0; k < m; k++ {
-				y[k] += theta * rho[k]
+			theta := qD / w[leave]
+			if st.useNz {
+				for _, k := range st.rhoNz {
+					y[k] += theta * rho[k]
+				}
+			} else {
+				for k := 0; k < m; k++ {
+					y[k] += theta * rho[k]
+				}
 			}
 		}
-		leavingCol := st.basis[leave]
 		st.applyPivot(q, leave, w)
 		st.xB[leave] = enterVal
 		// An artificial leaving "to upper" rests at its zero effective bound
@@ -1206,6 +1824,12 @@ func (st *state) optimize(costs []float64, skipArt bool) Status {
 					st.xB[i] = 0
 				}
 			}
+		}
+		if resetDevex {
+			// A reference weight blew past dvxResetLimit: the framework has
+			// drifted too far from the current nonbasic set. Restart it (and
+			// refresh dRed) against the just-updated basis.
+			st.devexReset(costs)
 		}
 	}
 }

@@ -122,12 +122,12 @@ func benchInstance(sc benchScale, seed int64) *Instance {
 		ccfg.WindowLen = 12
 	}
 	return &Instance{
-		Net:          net,
-		Horizon:      sc.horizon,
-		Capacity:     capm,
-		Demands:      demands,
-		Cost:         ccfg,
-		UseCostProxy: true,
+		Net:            net,
+		Horizon:        sc.horizon,
+		Capacity:       capm,
+		Demands:        demands,
+		Cost:           ccfg,
+		UseCostProxy:   true,
 		ImplicitBounds: sc.paper,
 	}
 }
@@ -152,7 +152,7 @@ func BenchmarkSAMSolve(b *testing.B) {
 				continue
 			}
 			b.Run(fmt.Sprintf("%s/%s", sc.name, kernel.name), func(b *testing.B) {
-				iters := 0
+				iters, refactors := 0, 0
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					res, err := ins.Solve(lp.Options{DenseKernel: kernel.dense, Presolve: sc.paper})
@@ -163,8 +163,10 @@ func BenchmarkSAMSolve(b *testing.B) {
 						b.Fatalf("status %v", res.Status)
 					}
 					iters = res.Iterations
+					refactors = res.Refactors
 				}
 				b.ReportMetric(float64(iters), "pivots")
+				b.ReportMetric(float64(refactors), "refactors")
 			})
 			if kernel.dense || sc.paper {
 				// The telemetry-overhead sub-bench exists to bound the
@@ -220,6 +222,7 @@ func BenchmarkSAMResolveWarm(b *testing.B) {
 					b.Fatalf("cold solve: %v %v", err, cold.Status)
 				}
 				basis := cold.Basis
+				iters, refactors := 0, 0
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					res, err := built.Solve(lp.Options{DenseKernel: kernel.dense, Presolve: sc.paper, WarmBasis: basis})
@@ -230,7 +233,11 @@ func BenchmarkSAMResolveWarm(b *testing.B) {
 						b.Fatalf("warm status %v", res.Status)
 					}
 					basis = res.Basis
+					iters = res.Iterations
+					refactors = res.Refactors
 				}
+				b.ReportMetric(float64(iters), "pivots")
+				b.ReportMetric(float64(refactors), "refactors")
 			})
 		}
 	}

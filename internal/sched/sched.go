@@ -146,6 +146,13 @@ type Result struct {
 	Price [][]float64
 	// Iterations counts simplex pivots.
 	Iterations int
+	// Refactors counts basis refactorizations performed by the solve.
+	Refactors int
+	// PricingUsed is the entering-variable rule the solver resolved to
+	// (lp.PricingDantzig or lp.PricingDevex; see lp.Options.Pricing).
+	PricingUsed lp.PricingRule
+	// DualCold reports that a cold solve took the dual-simplex route.
+	DualCold bool
 	// Suspect flags an Optimal solve whose solution failed the lp residual
 	// health check (see lp.Solution.Suspect): allocations are populated but
 	// the control loop should treat the solve as failed and retry cold or
@@ -181,9 +188,9 @@ type rateRow struct {
 // Rebind can neutralize windows that slide entirely into the past (their
 // charge is sunk — a fresh build would not model them at all).
 type costWindow struct {
-	z        lp.Var
-	we       int // window end (exclusive)
-	objCoef  float64
+	z       lp.Var
+	we      int // window end (exclusive)
+	objCoef float64
 }
 
 // Built is a constructed-but-reusable scheduling LP. Building the model is
@@ -676,13 +683,16 @@ func (b *Built) Solve(opts lp.Options) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{
-		Status:     sol.Status,
-		Iterations: sol.Iterations,
-		Suspect:    sol.Suspect,
-		Basis:      sol.Basis(),
-		Delivered:  make([]float64, len(ins.Demands)),
-		EdgeUsage:  make([][]float64, ne),
-		Price:      make([][]float64, ne),
+		Status:      sol.Status,
+		Iterations:  sol.Iterations,
+		Refactors:   sol.Refactors,
+		PricingUsed: sol.PricingUsed,
+		DualCold:    sol.DualCold,
+		Suspect:     sol.Suspect,
+		Basis:       sol.Basis(),
+		Delivered:   make([]float64, len(ins.Demands)),
+		EdgeUsage:   make([][]float64, ne),
+		Price:       make([][]float64, ne),
 	}
 	for e := 0; e < ne; e++ {
 		res.EdgeUsage[e] = make([]float64, ins.Horizon)
