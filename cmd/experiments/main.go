@@ -140,10 +140,18 @@ var experiments = map[string]func(rc *runCtx, sc exp.Scale, seed int64) error{
 		rc.printRows("Chaos gauntlet: welfare loss and degradation under injected faults (load 2)", rows)
 		return nil
 	},
+	"churn": func(rc *runCtx, sc exp.Scale, seed int64) error {
+		rows, err := exp.ChurnGauntlet(sc, seed)
+		if err != nil {
+			return err
+		}
+		rc.printRows("Churn gauntlet: preemption, refunds, and repair under topology churn (load 2)", rows)
+		return nil
+	},
 }
 
 // order fixes the -exp all execution sequence.
-var order = []string{"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig10", "fig11", "fig12", "fig13", "table4", "incentives", "convergence", "chaos"}
+var order = []string{"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig10", "fig11", "fig12", "fig13", "table4", "incentives", "convergence", "chaos", "churn"}
 
 func loadFactors() []float64 { return []float64{0.5, 1, 2, 3} }
 
@@ -174,7 +182,7 @@ func (rc *runCtx) printRows(title string, rows []exp.Row) {
 func main() {
 	var (
 		name       = flag.String("exp", "", "experiment to run (see -list), or 'all'")
-		scale      = flag.String("scale", "default", "experiment scale: small or default")
+		scale      = flag.String("scale", "default", "experiment scale: small, default, medium (alias of default), or paper")
 		seed       = flag.Int64("seed", 1, "experiment seed")
 		list       = flag.Bool("list", false, "list experiments")
 		plot       = flag.Bool("plot", false, "render ASCII bar charts under each table")
@@ -257,6 +265,8 @@ func main() {
 		sc = exp.Small()
 	case "default":
 		sc = exp.Default()
+	case "medium":
+		sc = exp.Medium()
 	case "paper":
 		sc = exp.Paper()
 		fmt.Fprintln(os.Stderr, "warning: paper scale builds very large LPs; expect hours per experiment")

@@ -13,6 +13,8 @@
 package chaos
 
 import (
+	"fmt"
+
 	"pretium/internal/graph"
 	"pretium/internal/pricing"
 )
@@ -119,19 +121,25 @@ func (p PriceCorruption) BeforeStep(step int, st *pricing.State) {
 }
 
 // CapacityFlap alternately removes and restores a fraction of one edge's
-// capacity (via the high-pri set-aside, like an announced fault) with a
-// fixed period: steps in [From, To] whose phase ((t-From)/Period) is even
-// are "down". At each step it rewrites the edge's set-aside for the whole
-// remaining flap window, so the planner keeps re-planning around a future
-// that keeps changing — the flapping-link nightmare §4.4 gestures at.
-// The set-aside write is clamped by the state, so flaps compose safely
-// with real fault announcements on the same edge.
+// capacity with a fixed period: steps in [From, To] whose phase
+// ((t-From)/Period) is even are "down". At each step it rewrites the
+// edge's outage cells for the whole remaining flap window, so the planner
+// keeps re-planning around a future that keeps changing — the
+// flapping-link nightmare §4.4 gestures at. The flap owns a private
+// overlay source, so up-phases restore the edge's capacity exactly and
+// flaps compose with drains, cuts, and fault set-asides on the same edge
+// without clobbering them (the old implementation wrote the shared
+// high-pri set-aside and lost both properties).
 type CapacityFlap struct {
 	Edge     graph.EdgeID
 	From, To int
 	Period   int
 	// Frac of the edge's physical capacity removed during down phases.
 	Frac float64
+}
+
+func (f CapacityFlap) source() string {
+	return fmt.Sprintf("flap:%d:%d-%d", f.Edge, f.From, f.To)
 }
 
 // SolveAction implements Injector (solves proceed).
@@ -147,14 +155,190 @@ func (f CapacityFlap) BeforeStep(step int, st *pricing.State) {
 		period = 1
 	}
 	cap := st.Net.Edge(f.Edge).Capacity
+	src := f.source()
 	for t := step; t <= f.To && t < st.Horizon; t++ {
 		down := ((t-f.From)/period)%2 == 0
 		if down {
-			st.SetHighPri(f.Edge, t, cap*f.Frac)
+			st.SetOutage(src, f.Edge, t, cap*clamp01(f.Frac))
 		} else {
-			st.SetHighPri(f.Edge, t, 0)
+			st.SetOutage(src, f.Edge, t, 0)
 		}
 	}
+}
+
+// LinkCut takes one edge (mostly) out of service for a window: physical
+// capacity drops to Capacity*Survive on every step in [From, To]. The
+// default is an unannounced cut — the planner learns about it at step
+// From, when traffic already committed to the edge strands. Setting
+// Announce < From models advance warning: the outage is written into the
+// overlay that early, so admission and SAM plan around the hole before it
+// opens (the difference between a fiber cut and a scheduled repair).
+type LinkCut struct {
+	Edge     graph.EdgeID
+	From, To int
+	// Survive is the fraction of capacity left during the cut; 0 (the
+	// zero value) is a full cut. Clamped to [0, 1].
+	Survive float64
+	// Announce is the step the cut becomes visible to the planner. The
+	// zero value and anything past From mean "at onset" (From); negative
+	// values mean "known from the start" (step 0).
+	Announce int
+}
+
+func (c LinkCut) source() string {
+	return fmt.Sprintf("linkcut:%d:%d-%d", c.Edge, c.From, c.To)
+}
+
+// SolveAction implements Injector (solves proceed).
+func (c LinkCut) SolveAction(string, int) Action { return Proceed }
+
+// BeforeStep implements Injector.
+func (c LinkCut) BeforeStep(step int, st *pricing.State) {
+	ann := c.Announce
+	if ann == 0 || ann > c.From {
+		ann = c.From
+	}
+	if ann < 0 {
+		ann = 0
+	}
+	if step < ann || step > c.To {
+		return
+	}
+	down := st.Net.Edge(c.Edge).Capacity * (1 - clamp01(c.Survive))
+	src := c.source()
+	for t := c.From; t <= c.To && t < st.Horizon; t++ {
+		if t < 0 {
+			continue
+		}
+		st.SetOutage(src, c.Edge, t, down)
+	}
+}
+
+// MaintenanceDrain is an announced, ramped capacity reduction: the edge
+// ramps down over the Ramp steps before From, holds at Capacity*Survive
+// during [From, To], and ramps back up over the Ramp steps after To. The
+// whole future profile is written at the announcement step (default: the
+// start of the ramp-down), so SAM sees the drain coming and can route
+// long transfers around it — the cooperative counterpart to LinkCut.
+type MaintenanceDrain struct {
+	Edge     graph.EdgeID
+	From, To int
+	// Ramp is the number of steps spent ramping on each side; <= 0 means
+	// the drain starts and ends abruptly.
+	Ramp int
+	// Survive is the capacity fraction retained during the hold window.
+	Survive float64
+	// Announce is the step the drain is announced. The zero value and
+	// anything past the ramp start mean "at ramp start"; negative values
+	// mean "known from the start" (step 0).
+	Announce int
+}
+
+func (d MaintenanceDrain) source() string {
+	return fmt.Sprintf("drain:%d:%d-%d", d.Edge, d.From, d.To)
+}
+
+// SolveAction implements Injector (solves proceed).
+func (d MaintenanceDrain) SolveAction(string, int) Action { return Proceed }
+
+// frac returns the fraction of capacity removed at step t.
+func (d MaintenanceDrain) frac(t int) float64 {
+	depth := 1 - clamp01(d.Survive)
+	ramp := d.Ramp
+	if ramp < 0 {
+		ramp = 0
+	}
+	switch {
+	case t >= d.From && t <= d.To:
+		return depth
+	case t >= d.From-ramp && t < d.From:
+		// j steps into the ramp-down, j in [1, ramp].
+		j := t - (d.From - ramp) + 1
+		return depth * float64(j) / float64(ramp+1)
+	case t > d.To && t <= d.To+ramp:
+		j := t - d.To
+		return depth * float64(ramp+1-j) / float64(ramp+1)
+	}
+	return 0
+}
+
+// BeforeStep implements Injector.
+func (d MaintenanceDrain) BeforeStep(step int, st *pricing.State) {
+	ramp := d.Ramp
+	if ramp < 0 {
+		ramp = 0
+	}
+	start, end := d.From-ramp, d.To+ramp
+	ann := d.Announce
+	if ann == 0 || ann > start {
+		ann = start
+	}
+	if ann < 0 {
+		ann = 0
+	}
+	if step < ann || step > end {
+		return
+	}
+	cap := st.Net.Edge(d.Edge).Capacity
+	src := d.source()
+	for t := start; t <= end && t < st.Horizon; t++ {
+		if t < 0 {
+			continue
+		}
+		st.SetOutage(src, d.Edge, t, cap*d.frac(t))
+	}
+}
+
+// CorrelatedFailure cuts a group of edges atomically over one window — a
+// shared-risk link group: one fiber conduit carrying several logical
+// links, severed by a single backhoe. All member edges drop to
+// Capacity*Survive together at step From (unannounced, like LinkCut),
+// which is the scenario that strands guarantees no single-link planner
+// anticipates.
+type CorrelatedFailure struct {
+	Edges    []graph.EdgeID
+	From, To int
+	// Survive is the capacity fraction left on every member edge.
+	Survive float64
+}
+
+func (c CorrelatedFailure) source() string {
+	key := fmt.Sprintf("srlg:%d-%d", c.From, c.To)
+	for _, e := range c.Edges {
+		key += fmt.Sprintf(":%d", e)
+	}
+	return key
+}
+
+// SolveAction implements Injector (solves proceed).
+func (c CorrelatedFailure) SolveAction(string, int) Action { return Proceed }
+
+// BeforeStep implements Injector.
+func (c CorrelatedFailure) BeforeStep(step int, st *pricing.State) {
+	if step < c.From || step > c.To {
+		return
+	}
+	src := c.source()
+	surv := clamp01(c.Survive)
+	for _, e := range c.Edges {
+		down := st.Net.Edge(e).Capacity * (1 - surv)
+		for t := c.From; t <= c.To && t < st.Horizon; t++ {
+			if t < 0 {
+				continue
+			}
+			st.SetOutage(src, e, t, down)
+		}
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 || x != x { // NaN guards as 0
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
 }
 
 // Plan composes injectors: the strongest solve action wins (Fail >

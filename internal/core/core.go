@@ -160,6 +160,11 @@ type admState struct {
 	end       int
 	delivered float64
 	plan      []pricing.ReservedAlloc // forward plan, absolute times
+	// preempted marks a guarantee bought back by the repair ladder: the
+	// transfer stops, the customer pays pro-rata for delivered bytes, and
+	// refund is returned at finalize (see repair.go).
+	preempted bool
+	refund    float64
 }
 
 func (a *admState) remaining() float64 { return a.adm.Bought - a.delivered }
@@ -196,6 +201,12 @@ type Controller struct {
 	// rung of the ladder each step settled at, and why. Run never aborts
 	// mid-horizon on solver trouble; Health is where the trouble shows.
 	Health *Health
+	// Refunds lists every guarantee the repair ladder bought back, in
+	// preemption order: the explicit money trail behind Outcome.Refunded.
+	Refunds []Refund
+	// churnSeen is the last outage-overlay version the repair loop
+	// examined; an unchanged version means no new churn to repair.
+	churnSeen uint64
 	// trueCap is the physical per-(edge,step) capacity including faults,
 	// whether announced or not.
 	trueCap [][]float64
@@ -360,8 +371,11 @@ func (c *Controller) Run() (*sim.Outcome, error) {
 		}
 		// Chaos state mutations land after the PC so a corrupted price at a
 		// window boundary is what quotes (and PriceTrace) actually see.
+		// Guarantee repair runs immediately after: whatever topology the
+		// injectors just broke is what admissions and SAM must plan on.
 		if c.cfg.Chaos != nil {
 			c.cfg.Chaos.BeforeStep(t, c.state)
+			c.repairGuarantees(t)
 		}
 		for e := range c.PriceTrace {
 			c.PriceTrace[e][t] = c.state.BasePrice[e][t]
@@ -593,7 +607,7 @@ func (c *Controller) runSAM(t int) {
 	var live []*admState
 	maxEnd := t
 	for _, a := range c.active {
-		if a.end < t || a.remaining() <= 1e-9 {
+		if a.preempted || a.end < t || a.remaining() <= 1e-9 {
 			continue
 		}
 		live = append(live, a)
@@ -650,14 +664,23 @@ func (c *Controller) runSAM(t int) {
 	if lvl > LevelOK {
 		c.degrade(t, ModuleSAM, lvl, reason)
 	}
+	// Relaxed guarantees while the topology is degraded are churn
+	// shortfalls in disguise: buy them back with refunds instead of
+	// letting them renege (no-op when no outage is active, so churn-free
+	// runs are untouched).
+	if lvl == LevelRelaxed && c.state.OutageActive(t, horizon) {
+		if strict, survivors := c.preemptRelaxed(t, horizon, live, res); strict != nil {
+			res, live = strict, survivors
+		}
+	}
 	if c.cfg.Obs != nil {
 		scheduled := 0.0
 		for _, al := range res.Allocs {
 			scheduled += al.Bytes
 		}
 		guaranteed := 0.0
-		for _, d := range demands {
-			guaranteed += d.MinBytes
+		for _, a := range live {
+			guaranteed += a.guaranteeLeft()
 		}
 		c.obs.samSolve(lvl, scheduled)
 		c.cfg.Obs.Emit(t, ModuleSAM, "solve",
@@ -875,6 +898,12 @@ func (c *Controller) realize(t int) {
 	scale := make(map[graph.EdgeID]float64, len(load))
 	for e, l := range load {
 		cap := c.trueCap[e][t]
+		// Injected outages are physical, not just planning state: a cut
+		// link carries nothing however stale the plan riding it is. The
+		// overlay is all-zero without chaos, leaving cap bit-identical.
+		if out := c.state.OutageAt(e, t); out > 0 {
+			cap -= out
+		}
 		if l > cap {
 			if cap < 0 {
 				cap = 0
@@ -993,7 +1022,18 @@ func (c *Controller) runPC(t int) {
 // requests pay the menu price of their delivered bytes; scavenger
 // requests (no menu) pay their named per-byte price.
 func (c *Controller) finalize() {
+	refundTotal := 0.0
 	for _, a := range c.active {
+		if a.preempted {
+			// Preemption is a buy-back, not a violation: the customer is
+			// charged their upfront payment minus the refund (pro-rata for
+			// undelivered bytes), and the shortfall is accounted as
+			// Refunded, never Reneged.
+			c.outcome.Payments[a.reqIdx] += a.adm.Payment - a.refund
+			c.outcome.Refunded[a.reqIdx] += a.refund
+			refundTotal += a.refund
+			continue
+		}
 		charged := math.Min(a.delivered, a.adm.Bought)
 		if a.adm.Menu != nil {
 			c.outcome.Payments[a.reqIdx] += a.adm.Menu.Price(charged)
@@ -1004,6 +1044,7 @@ func (c *Controller) finalize() {
 			c.outcome.Reneged[a.reqIdx] += short
 		}
 	}
+	c.obs.refundTotal(refundTotal)
 	if m := c.cfg.Obs.Metrics(); m != nil {
 		c.obs.publishLP(m, "sam.lp", c.samStats)
 		c.obs.publishLP(m, "pc.lp", c.pcStats)

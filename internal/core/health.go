@@ -23,12 +23,29 @@ const (
 	// LevelRetainedPrices: the Price Computer failed; the previous
 	// window's prices were carried forward.
 	LevelRetainedPrices
+	// LevelRepairReroute: topology churn stranded admitted guarantees; a
+	// repair solve re-routed the affected transfers around the outage
+	// while pinning every unaffected allocation in place.
+	LevelRepairReroute
+	// LevelRepairReplan: pinned re-routing was infeasible; the whole live
+	// set was jointly re-planned with relaxed routes (minimal-disruption
+	// pinning abandoned, guarantees still met).
+	LevelRepairReplan
 	// LevelGreedy: every LP attempt failed; the LP-free greedy fallback
 	// produced the schedule (feasible by construction, not cost-optimal).
 	LevelGreedy
+	// LevelRepairPreempt: the surviving topology cannot carry every
+	// remaining guarantee; the cheapest stranded guarantees were
+	// preempted and explicitly refunded (price paid x undelivered
+	// fraction) until the rest fit.
+	LevelRepairPreempt
 	// LevelCarry: even the fallback could not run (malformed instance);
 	// the previous forward plan was carried unchanged.
 	LevelCarry
+	// LevelRepairSkipped: stranded guarantees were detected but no repair
+	// solve could run (solver outage); shortfalls will surface as reneges
+	// instead of refunds — recorded, never silent.
+	LevelRepairSkipped
 )
 
 func (l Level) String() string {
@@ -41,21 +58,30 @@ func (l Level) String() string {
 		return "cold-start"
 	case LevelRetainedPrices:
 		return "retained-prices"
+	case LevelRepairReroute:
+		return "repair-reroute"
+	case LevelRepairReplan:
+		return "repair-replan"
 	case LevelGreedy:
 		return "greedy-fallback"
+	case LevelRepairPreempt:
+		return "repair-preempt"
 	case LevelCarry:
 		return "carry-plan"
+	case LevelRepairSkipped:
+		return "repair-skipped"
 	}
 	return "unknown"
 }
 
 // numLevels sizes the per-level counters.
-const numLevels = int(LevelCarry) + 1
+const numLevels = int(LevelRepairSkipped) + 1
 
 // Module names used in degradation events.
 const (
-	ModuleSAM = "SAM"
-	ModulePC  = "PC"
+	ModuleSAM    = "SAM"
+	ModulePC     = "PC"
+	ModuleRepair = "REPAIR"
 )
 
 // Event is one degradation: at Step, Module settled at Level after

@@ -17,8 +17,12 @@ func TestLevelString(t *testing.T) {
 		{LevelRelaxed, "relaxed-guarantees"},
 		{LevelColdStart, "cold-start"},
 		{LevelRetainedPrices, "retained-prices"},
+		{LevelRepairReroute, "repair-reroute"},
+		{LevelRepairReplan, "repair-replan"},
 		{LevelGreedy, "greedy-fallback"},
+		{LevelRepairPreempt, "repair-preempt"},
 		{LevelCarry, "carry-plan"},
+		{LevelRepairSkipped, "repair-skipped"},
 		{Level(99), "unknown"},
 	}
 	if len(cases) != numLevels+1 {
@@ -36,15 +40,26 @@ func TestLevelString(t *testing.T) {
 // and checks every aggregate view: Counts, Worst, EventsAt, Degraded,
 // and the per-event rendering.
 func TestHealthRecordEveryLevel(t *testing.T) {
-	levels := []Level{LevelRelaxed, LevelColdStart, LevelRetainedPrices, LevelGreedy, LevelCarry}
+	levels := []Level{
+		LevelRelaxed, LevelColdStart, LevelRetainedPrices,
+		LevelRepairReroute, LevelRepairReplan, LevelGreedy,
+		LevelRepairPreempt, LevelCarry, LevelRepairSkipped,
+	}
 	h := newHealth(len(levels))
 	if h.Degraded() {
 		t.Fatal("fresh report already degraded")
 	}
+	repair := map[Level]bool{
+		LevelRepairReroute: true, LevelRepairReplan: true,
+		LevelRepairPreempt: true, LevelRepairSkipped: true,
+	}
 	for i, lvl := range levels {
 		module := ModuleSAM
-		if lvl == LevelRetainedPrices {
+		switch {
+		case lvl == LevelRetainedPrices:
 			module = ModulePC
+		case repair[lvl]:
+			module = ModuleRepair
 		}
 		h.record(i, module, lvl, fmt.Sprintf("reason-%d", i))
 	}
@@ -73,13 +88,17 @@ func TestHealthRecordEveryLevel(t *testing.T) {
 	if got := len(h.EventsAt(ModulePC)); got != 1 {
 		t.Errorf("PC events = %d, want 1", got)
 	}
-	if got := len(h.EventsAt(ModuleSAM)); got != len(levels)-1 {
-		t.Errorf("SAM events = %d, want %d", got, len(levels)-1)
+	if got := len(h.EventsAt(ModuleRepair)); got != 4 {
+		t.Errorf("repair events = %d, want 4", got)
+	}
+	if got := len(h.EventsAt(ModuleSAM)); got != len(levels)-5 {
+		t.Errorf("SAM events = %d, want %d", got, len(levels)-5)
 	}
 	if got := len(h.EventsAt("")); got != len(levels) {
 		t.Errorf(`EventsAt("") = %d events, want %d`, got, len(levels))
 	}
-	want := "degraded 5/5 steps: relaxed-guarantees=1 cold-start=1 retained-prices=1 greedy-fallback=1 carry-plan=1"
+	want := "degraded 9/9 steps: relaxed-guarantees=1 cold-start=1 retained-prices=1 " +
+		"repair-reroute=1 repair-replan=1 greedy-fallback=1 repair-preempt=1 carry-plan=1 repair-skipped=1"
 	if h.Summary() != want {
 		t.Errorf("Summary = %q, want %q", h.Summary(), want)
 	}

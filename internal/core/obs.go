@@ -22,9 +22,14 @@ type coreObs struct {
 	raDeclined   *obs.Counter
 	raPriceBumps *obs.Counter
 
-	samSolves    *obs.Counter
-	samDegraded  *obs.Counter
-	samScheduled *obs.Histogram
+	raStranded    *obs.Counter
+	raRefunds     *obs.Counter
+	raRefundTotal *obs.Gauge
+
+	samSolves       *obs.Counter
+	samDegraded     *obs.Counter
+	samScheduled    *obs.Histogram
+	samRepairSolves *obs.Counter
 
 	pcSolves   *obs.Counter
 	pcRetained *obs.Counter
@@ -42,9 +47,14 @@ func newCoreObs(rec *obs.Recorder) *coreObs {
 		raAdmitted:   m.Counter("ra.admitted"),
 		raDeclined:   m.Counter("ra.declined"),
 		raPriceBumps: m.Counter("ra.price_bumps"),
-		samSolves:    m.Counter("sam.solves"),
-		samDegraded:  m.Counter("sam.degraded"),
-		samScheduled: m.Histogram("sam.scheduled_bytes", bytesEdges),
+		raStranded:    m.Counter("ra.stranded"),
+		raRefunds:     m.Counter("ra.refunds"),
+		raRefundTotal: m.Gauge("ra.refund_total"),
+
+		samSolves:       m.Counter("sam.solves"),
+		samDegraded:     m.Counter("sam.degraded"),
+		samScheduled:    m.Histogram("sam.scheduled_bytes", bytesEdges),
+		samRepairSolves: m.Counter("sam.repair_solves"),
 		pcSolves:     m.Counter("pc.solves"),
 		pcRetained:   m.Counter("pc.retained_prices"),
 		pcPriceMax:   m.Gauge("pc.price.max"),
@@ -77,6 +87,38 @@ func (o *coreObs) samSolve(lvl Level, scheduled float64) {
 		o.samDegraded.Inc()
 	}
 	o.samScheduled.Observe(scheduled)
+}
+
+// repairDetected records guarantees found stranded by topology churn.
+func (o *coreObs) repairDetected(n int) {
+	if o == nil {
+		return
+	}
+	o.raStranded.Add(int64(n))
+}
+
+// repairSolve records one repair-ladder LP solve.
+func (o *coreObs) repairSolve() {
+	if o == nil {
+		return
+	}
+	o.samRepairSolves.Inc()
+}
+
+// refund records one guarantee buy-back.
+func (o *coreObs) refund() {
+	if o == nil {
+		return
+	}
+	o.raRefunds.Inc()
+}
+
+// refundTotal publishes the run's total refunded currency.
+func (o *coreObs) refundTotal(total float64) {
+	if o == nil {
+		return
+	}
+	o.raRefundTotal.Set(total)
 }
 
 // pcUpdate records one accepted price window: every recomputed price

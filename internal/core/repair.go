@@ -1,0 +1,447 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"pretium/internal/chaos"
+	"pretium/internal/graph"
+	"pretium/internal/lp"
+	"pretium/internal/obs"
+	"pretium/internal/pricing"
+	"pretium/internal/sched"
+)
+
+// errInjectedOutage is what a chaos-killed repair solve reports.
+var errInjectedOutage = errors.New("injected solver outage")
+
+// repairTol is the slack below which a planned overload is float dust
+// rather than a stranded byte.
+const repairTol = 1e-6
+
+// Refund is one guarantee bought back by the repair ladder: the customer
+// had Bought bytes admitted for Paid, Bytes of them were undelivered at
+// preemption, and Amount = Paid * Bytes / Bought is returned. The record
+// carries its own inputs so conservation is checkable per refund, not
+// just in aggregate.
+type Refund struct {
+	Step   int
+	Req    int
+	Bytes  float64
+	Bought float64
+	Paid   float64
+	Amount float64
+}
+
+// repairGuarantees runs after chaos mutates the planning state at step t:
+// if the surviving topology no longer carries the forward plans of
+// admitted transfers, it walks the repair ladder — (1) re-route the
+// affected transfers around the outage with every unaffected allocation
+// pinned, (2) jointly re-plan the whole live set, (3) preempt the
+// cheapest stranded guarantees with explicit refunds until the rest fit.
+// Every rung lands in Health and the event stream; a silent guarantee
+// violation is never an outcome.
+func (c *Controller) repairGuarantees(t int) {
+	v := c.state.OutageVersion()
+	if v == c.churnSeen {
+		return
+	}
+	c.churnSeen = v
+
+	var live []*admState
+	maxEnd := t
+	for _, a := range c.active {
+		if a.preempted || a.end < t || a.remaining() <= 1e-9 {
+			continue
+		}
+		live = append(live, a)
+		if a.end > maxEnd {
+			maxEnd = a.end
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	horizon := maxEnd + 1
+	if horizon > c.cfg.Horizon {
+		horizon = c.cfg.Horizon
+	}
+
+	// Forward planned load per (edge, step). The current plan is a
+	// feasibility witness: if it still fits the surviving capacity, every
+	// remaining guarantee is still jointly schedulable and there is
+	// nothing to repair.
+	ne := c.net.NumEdges()
+	planned := make([][]float64, ne)
+	for e := range planned {
+		planned[e] = make([]float64, horizon)
+	}
+	for _, a := range live {
+		for _, al := range a.plan {
+			if al.Time < t || al.Time >= horizon {
+				continue
+			}
+			for _, e := range a.adm.Request.Routes[al.RouteIdx] {
+				planned[e][al.Time] += al.Bytes
+			}
+		}
+	}
+	over := make([][]bool, ne)
+	stranded := false
+	for e := range over {
+		over[e] = make([]bool, horizon)
+		for tt := t; tt < horizon; tt++ {
+			if planned[e][tt] > c.state.Capacity(graph.EdgeID(e), tt)+repairTol {
+				over[e][tt] = true
+				stranded = true
+			}
+		}
+	}
+	if !stranded {
+		return
+	}
+
+	// Affected transfers: any forward allocation riding an overloaded
+	// cell. Everyone else's plan provably still fits and is pinned.
+	affected := make([]bool, len(live))
+	var affectedStates, pinnedStates []*admState
+	guarantees := 0
+	for i, a := range live {
+		for _, al := range a.plan {
+			if al.Time < t || al.Time >= horizon || affected[i] {
+				continue
+			}
+			for _, e := range a.adm.Request.Routes[al.RouteIdx] {
+				if over[e][al.Time] {
+					affected[i] = true
+					break
+				}
+			}
+		}
+		if affected[i] {
+			affectedStates = append(affectedStates, a)
+			if a.guaranteeLeft() > repairTol {
+				guarantees++
+			}
+		} else {
+			pinnedStates = append(pinnedStates, a)
+		}
+	}
+	c.obs.repairDetected(guarantees)
+
+	var reasons []string
+	fail := func(rung string, err error) { reasons = append(reasons, rung+": "+err.Error()) }
+	level := LevelRepairSkipped
+	preempted := 0
+	refunded := 0.0
+
+	// Rung 1: minimal disruption — re-route only the affected transfers,
+	// with every unaffected allocation pinned in place.
+	res, err := c.repairSolve(t, horizon, affectedStates, pinnedStates, planned, over)
+	if err == nil {
+		c.installRepair(t, affectedStates, res)
+		level = LevelRepairReroute
+	} else {
+		fail("reroute", err)
+		// Rung 2: abandon pinning; re-plan the whole live set jointly
+		// with relaxed routes.
+		res, err = c.repairSolve(t, horizon, live, nil, nil, nil)
+		if err == nil {
+			c.installRepair(t, live, res)
+			level = LevelRepairReplan
+		} else {
+			fail("replan", err)
+		}
+	}
+
+	// Rung 3: the surviving topology cannot carry every guarantee (or
+	// pinned routing hid the capacity that could). Preempt stranded
+	// guarantees cheapest-first — affected transfers before pinned ones,
+	// ascending value proxy — refunding each, until the rest fit.
+	if level == LevelRepairSkipped && errIsInfeasible(err) {
+		candidates := preemptionOrder(affectedStates, pinnedStates)
+		working := live
+		for _, victim := range candidates {
+			c.preempt(t, victim)
+			preempted++
+			refunded += victim.refund
+			keep := working[:0:0]
+			for _, a := range working {
+				if !a.preempted {
+					keep = append(keep, a)
+				}
+			}
+			working = keep
+			if len(working) == 0 {
+				// Everything preempted: nothing left to schedule, and
+				// nothing left stranded.
+				c.installRepair(t, working, &sched.Result{})
+				level = LevelRepairPreempt
+				break
+			}
+			res, err = c.repairSolve(t, horizon, working, nil, nil, nil)
+			if err == nil {
+				c.installRepair(t, working, res)
+				level = LevelRepairPreempt
+				break
+			}
+			if !errIsInfeasible(err) {
+				fail("preempt", err)
+				break // solver trouble, not structural infeasibility
+			}
+		}
+	}
+
+	strandedBytes := 0.0
+	for _, a := range affectedStates {
+		strandedBytes += a.guaranteeLeft()
+	}
+	c.degrade(t, ModuleRepair, level, strings.Join(reasons, "; "))
+	c.cfg.Obs.Emit(t, ModuleRepair, "repair",
+		obs.I("affected", len(affectedStates)), obs.I("stranded", guarantees),
+		obs.F("stranded_bytes", strandedBytes), obs.I("preempted", preempted),
+		obs.S("level", level.String()), obs.F("refund", refunded))
+}
+
+// preemptRelaxed handles guarantee shortfalls that surface inside the SAM
+// ladder while an injected outage is active. Admission quotes per-cell
+// room, not joint schedulability, so new transfers sold during an outage
+// can overcommit the surviving topology — SAM then settles at
+// relaxed-guarantees and would renege the shortfall with no refund. Under
+// churn that is a silent violation, so this pass extends the repair
+// ladder into the SAM site: find the guarantees the relaxed solution
+// shorted, preempt them cheapest-first, and re-solve strictly. Side
+// effects (refunds) are deferred until a strict solve succeeds; on solver
+// trouble nothing is preempted and the caller keeps the relaxed plan
+// (honest, accounted reneges). Returns the strict result and surviving
+// live set, or (nil, nil) to keep the relaxed outcome.
+func (c *Controller) preemptRelaxed(t, horizon int, live []*admState, relaxed *sched.Result) (*sched.Result, []*admState) {
+	alloc := make([]float64, len(live))
+	for _, al := range relaxed.Allocs {
+		alloc[al.DemandIdx] += al.Bytes
+	}
+	var shorted []*admState
+	strandedBytes := 0.0
+	for i, a := range live {
+		if a.guaranteeLeft() > alloc[i]+repairTol {
+			shorted = append(shorted, a)
+			strandedBytes += a.guaranteeLeft() - alloc[i]
+		}
+	}
+	if len(shorted) == 0 {
+		return nil, nil
+	}
+	c.obs.repairDetected(len(shorted))
+	isVictim := make(map[*admState]bool, len(shorted))
+	working := live
+	var out *sched.Result
+	for _, v := range preemptionOrder(shorted, nil) {
+		isVictim[v] = true
+		keep := working[:0:0]
+		for _, a := range working {
+			if !isVictim[a] {
+				keep = append(keep, a)
+			}
+		}
+		working = keep
+		if len(working) == 0 {
+			out = &sched.Result{}
+			break
+		}
+		res, err := c.repairSolve(t, horizon, working, nil, nil, nil)
+		if err == nil {
+			out = res
+			break
+		}
+		if !errIsInfeasible(err) {
+			return nil, nil // solver trouble: keep the relaxed plan, nothing preempted
+		}
+	}
+	if out == nil {
+		return nil, nil
+	}
+	refunded := 0.0
+	for _, v := range preemptionOrder(shorted, nil) {
+		if !isVictim[v] {
+			continue
+		}
+		c.preempt(t, v)
+		refunded += v.refund
+	}
+	c.degrade(t, ModuleRepair, LevelRepairPreempt,
+		fmt.Sprintf("guarantees relaxed under outage: preempted %d", len(isVictim)))
+	c.cfg.Obs.Emit(t, ModuleRepair, "repair",
+		obs.I("affected", len(shorted)), obs.I("stranded", len(shorted)),
+		obs.F("stranded_bytes", strandedBytes), obs.I("preempted", len(isVictim)),
+		obs.S("level", LevelRepairPreempt.String()), obs.F("refund", refunded))
+	return out, working
+}
+
+// errIsInfeasible reports whether a repair solve failed because the
+// guarantees are structurally unschedulable (the case preemption can
+// fix), as opposed to solver trouble (which it cannot).
+func errIsInfeasible(err error) bool {
+	return errors.Is(err, lp.ErrInfeasible)
+}
+
+// preemptionOrder ranks preemption candidates: guarantee-holding affected
+// transfers first, then pinned ones, each group cheapest value proxy
+// first (ties broken by request index for determinism).
+func preemptionOrder(affected, pinned []*admState) []*admState {
+	rank := func(states []*admState) []*admState {
+		var out []*admState
+		for _, a := range states {
+			if a.guaranteeLeft() > repairTol {
+				out = append(out, a)
+			}
+		}
+		sort.SliceStable(out, func(i, j int) bool {
+			if out[i].adm.Lambda != out[j].adm.Lambda {
+				return out[i].adm.Lambda < out[j].adm.Lambda
+			}
+			return out[i].reqIdx < out[j].reqIdx
+		})
+		return out
+	}
+	return append(rank(affected), rank(pinned)...)
+}
+
+// repairSolve runs one repair LP over the given demand set. When pinned
+// is non-empty their planned load is subtracted from schedulable capacity
+// and charged to cost windows as fixed usage, so the solve routes around
+// them without moving them. The configured chaos injector is consulted
+// like any other SAM-site solve — a dead solver kills repair too, which
+// is exactly the worst case the ladder's skipped level records.
+func (c *Controller) repairSolve(t, horizon int, states, pinned []*admState, planned [][]float64, over [][]bool) (*sched.Result, error) {
+	act := c.chaosAction(chaos.ModuleSAM, t)
+	if act == chaos.Fail {
+		return nil, errInjectedOutage
+	}
+	c.obs.repairSolve()
+
+	ne := c.net.NumEdges()
+	capacity := make([][]float64, ne)
+	fixed := make([][]float64, ne)
+	for e := range capacity {
+		capacity[e] = make([]float64, horizon)
+		fixed[e] = make([]float64, horizon)
+		for tt := 0; tt < horizon; tt++ {
+			capacity[e][tt] = c.state.Capacity(graph.EdgeID(e), tt)
+			if tt < t {
+				fixed[e][tt] = c.outcome.Usage[e][tt]
+			}
+		}
+	}
+	for _, a := range pinned {
+		for _, al := range a.plan {
+			if al.Time < t || al.Time >= horizon {
+				continue
+			}
+			for _, e := range a.adm.Request.Routes[al.RouteIdx] {
+				capacity[e][al.Time] -= al.Bytes
+				if capacity[e][al.Time] < 0 {
+					capacity[e][al.Time] = 0
+				}
+				fixed[e][al.Time] += al.Bytes
+			}
+		}
+	}
+	demands := make([]sched.Demand, len(states))
+	for i, a := range states {
+		demands[i] = sched.Demand{
+			ID:           i,
+			Routes:       a.adm.Request.Routes,
+			Start:        a.start,
+			End:          a.end,
+			MaxBytes:     a.remaining(),
+			MinBytes:     a.guaranteeLeft(),
+			ValuePerByte: a.adm.Lambda,
+			RateCap:      c.cfg.CustomerRateCap,
+		}
+	}
+	ins := &sched.Instance{
+		Net: c.net, Horizon: horizon, StartStep: t,
+		Capacity: capacity, FixedUsage: fixed,
+		Demands: demands, Cost: c.cfg.Cost, UseCostProxy: true,
+	}
+	built, err := ins.Build()
+	if err != nil {
+		return nil, err
+	}
+	opts := c.cfg.Solver
+	opts.Stats = &c.samStats
+	if act == chaos.Timeout {
+		opts.TimeBudget = time.Nanosecond // every attempt comes back lp.TimeLimit
+	}
+	res, err := built.Solve(opts)
+	if err != nil {
+		return nil, err
+	}
+	if e := solveErr(res); e != nil {
+		return res, e
+	}
+	return res, nil
+}
+
+// installRepair replaces the forward plans of the solved demand set and
+// rebuilds the reservation matrix from every live plan (releasing
+// whatever preempted transfers held).
+func (c *Controller) installRepair(t int, states []*admState, res *sched.Result) {
+	for _, a := range states {
+		a.plan = a.plan[:0]
+	}
+	for _, al := range res.Allocs {
+		a := states[al.DemandIdx]
+		a.plan = append(a.plan, pricing.ReservedAlloc{RouteIdx: al.RouteIdx, Time: al.Time, Bytes: al.Bytes})
+	}
+	reserved := make([][]float64, c.net.NumEdges())
+	for e := range reserved {
+		reserved[e] = make([]float64, c.cfg.Horizon)
+	}
+	for _, a := range c.active {
+		if a.preempted || a.end < t || a.remaining() <= 1e-9 {
+			continue
+		}
+		for _, al := range a.plan {
+			// Unlike the SAM install (which runs after step t's admissions
+			// and frees the step being realized), repair runs *before*
+			// them — step t stays reserved or new admissions would be
+			// quoted into cells the surviving plans still occupy.
+			if al.Time < t {
+				continue
+			}
+			for _, e := range a.adm.Request.Routes[al.RouteIdx] {
+				reserved[e][al.Time] += al.Bytes
+			}
+		}
+	}
+	if err := c.state.SetReserved(reserved); err != nil {
+		c.degrade(t, ModuleRepair, LevelCarry, "SetReserved: "+err.Error())
+	}
+}
+
+// preempt buys back one guarantee: the transfer stops here, and the
+// customer is refunded their payment times the undelivered fraction.
+func (c *Controller) preempt(t int, a *admState) {
+	a.preempted = true
+	a.plan = a.plan[:0]
+	bytes := a.adm.Bought - a.delivered
+	if bytes < 0 {
+		bytes = 0
+	}
+	amount := 0.0
+	if a.adm.Bought > 0 {
+		amount = a.adm.Payment * bytes / a.adm.Bought
+	}
+	a.refund = amount
+	c.Refunds = append(c.Refunds, Refund{
+		Step: t, Req: a.reqIdx, Bytes: bytes,
+		Bought: a.adm.Bought, Paid: a.adm.Payment, Amount: amount,
+	})
+	c.obs.refund()
+	c.cfg.Obs.Emit(t, ModuleRepair, "refund",
+		obs.I("req", a.reqIdx), obs.F("bytes", bytes), obs.F("amount", amount))
+}

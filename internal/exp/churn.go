@@ -1,0 +1,246 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"pretium/internal/chaos"
+	"pretium/internal/core"
+	"pretium/internal/graph"
+	"pretium/internal/sim"
+)
+
+// ChurnScenario is one deterministic topology-churn script: link cuts,
+// maintenance drains, and correlated (SRLG) failures replayed against a
+// Pretium run. Unlike ChaosScenario there is no welfare bound — churn
+// runs are judged on hard conservation invariants instead (see RunChurn).
+type ChurnScenario struct {
+	Name     string
+	Injector chaos.Injector
+	// AllowReneges marks scenarios whose injection kills the solver
+	// itself: the repair ladder bottoms out at repair-skipped and
+	// guarantees renege honestly. Every other scenario must end with
+	// zero reneged bytes — every admitted byte delivered or refunded.
+	AllowReneges bool
+}
+
+// ChurnResult is one gauntlet run plus the derived accounting facts the
+// invariants were checked against.
+type ChurnResult struct {
+	Scenario ChurnScenario
+	Result   SchemeResult
+	// Health is the controller's degradation report (repair rungs land
+	// under core.ModuleRepair).
+	Health *core.Health
+	// Preempted counts guarantees bought back; RefundTotal is the
+	// currency returned for them.
+	Preempted   int
+	RefundTotal float64
+}
+
+// churnTol bounds float drift in the byte-conservation checks;
+// centTol is the currency slack for refund accounting ("to the cent").
+const (
+	churnTol = 1e-3
+	centTol  = 0.005
+)
+
+// RunChurn replays one churn scenario and enforces the repair contract:
+//
+//   - the run completes the horizon;
+//   - realized usage never exceeds nameplate capacity, nor the
+//     *surviving* capacity of any link while it is cut or drained;
+//   - every refund record is self-consistent (amount = paid x
+//     undelivered fraction) and the records sum to the outcome's
+//     refunded total — conservation to the cent;
+//   - unless the scenario also kills the solver, no guarantee is
+//     silently violated: reneged bytes stay at zero.
+//
+// A breached invariant is returned as an error; degradation alone is the
+// expected outcome and shows up in Health.
+func (s *Setup) RunChurn(scen ChurnScenario) (ChurnResult, error) {
+	res, err := s.RunPretium(func(c *core.Config) { c.Chaos = scen.Injector })
+	if err != nil {
+		return ChurnResult{}, fmt.Errorf("churn %s: run aborted: %w", scen.Name, err)
+	}
+	r := ChurnResult{Scenario: scen, Result: res, Health: res.Controller.Health}
+
+	if err := sim.CheckCapacities(s.Net, res.Outcome.Usage, 1e-6); err != nil {
+		return r, fmt.Errorf("churn %s: nameplate capacity violated: %w", scen.Name, err)
+	}
+	// Surviving capacity per (edge, step): nameplate minus the injected
+	// outage. The overlay is deterministic in the step index, so the
+	// post-run state still reports the outage each step ran under.
+	st := res.Controller.State()
+	surviving := make([][]float64, s.Net.NumEdges())
+	for _, e := range s.Net.Edges() {
+		row := make([]float64, s.Scale.Steps)
+		for t := range row {
+			c := e.Capacity - st.OutageAt(e.ID, t)
+			if c < 0 {
+				c = 0
+			}
+			row[t] = c
+		}
+		surviving[e.ID] = row
+	}
+	if err := sim.CheckCapacitiesAgainst(res.Outcome.Usage, surviving, 1e-6); err != nil {
+		return r, fmt.Errorf("churn %s: %w", scen.Name, err)
+	}
+
+	// Refund conservation: each record certifies itself, and the records
+	// must add up to exactly what the outcome says was returned.
+	recorded := 0.0
+	for _, ref := range res.Controller.Refunds {
+		want := 0.0
+		if ref.Bought > 0 {
+			want = ref.Paid * ref.Bytes / ref.Bought
+		}
+		if math.Abs(ref.Amount-want) > centTol || ref.Bytes < 0 || ref.Bytes > ref.Bought+churnTol {
+			return r, fmt.Errorf("churn %s: refund for req %d inconsistent: %+v", scen.Name, ref.Req, ref)
+		}
+		recorded += ref.Amount
+	}
+	r.Preempted = len(res.Controller.Refunds)
+	r.RefundTotal = recorded
+	if math.Abs(recorded-res.Report.RefundedTotal) > centTol {
+		return r, fmt.Errorf("churn %s: refund records sum to %.4f, outcome refunded %.4f",
+			scen.Name, recorded, res.Report.RefundedTotal)
+	}
+
+	if !scen.AllowReneges && res.Report.RenegedBytes > churnTol {
+		return r, fmt.Errorf("churn %s: %.4f bytes reneged without refund (health: %s)",
+			scen.Name, res.Report.RenegedBytes, r.Health.Summary())
+	}
+	return r, nil
+}
+
+// srlgGroup is the shared-risk group used by the correlated-failure
+// scenarios: every edge leaving the fattest link's tail node, the closest
+// thing the generated WAN has to "one conduit cut severs the site".
+func srlgGroup(net *graph.Network) []graph.EdgeID {
+	fat := net.Edge(fattestEdge(net))
+	return net.Out(fat.From)
+}
+
+// busiestEdge picks the cut target for the single-link scenarios: the
+// edge with the most demand-weighted appearances in request route sets
+// whose windows overlap [from, to]. The fattest link can sit idle at
+// small scales; a cut that strands nobody exercises nothing, so the
+// gauntlet aims where the traffic actually is.
+func busiestEdge(s *Setup, from, to int) graph.EdgeID {
+	score := make([]float64, s.Net.NumEdges())
+	for _, r := range s.Requests {
+		if r.End < from || r.Start > to || len(r.Routes) == 0 {
+			continue
+		}
+		w := r.Demand / float64(len(r.Routes))
+		for _, route := range r.Routes {
+			for _, e := range route {
+				score[e] += w
+			}
+		}
+	}
+	best := graph.EdgeID(0)
+	for e := range score {
+		if score[e] > score[best] {
+			best = graph.EdgeID(e)
+		}
+	}
+	return best
+}
+
+// DefaultChurnScenarios is the standing churn gauntlet: an unannounced
+// full cut of the busiest link, an announced partial cut, a ramped
+// maintenance drain, an SRLG failure severing every path out of a site
+// (forcing the preempt-and-refund rung), the flap/drain composition on a
+// single edge, a storm of all three, and the worst case — churn while
+// the repair solver itself is dead.
+func DefaultChurnScenarios(s *Setup) []ChurnScenario {
+	steps := s.Scale.Steps
+	mid := steps / 3
+	fat := busiestEdge(s, mid, 2*mid)
+	ramp := s.Scale.StepsPerDay / 4
+	if ramp < 1 {
+		ramp = 1
+	}
+	return []ChurnScenario{
+		{
+			Name:     "fat-cut",
+			Injector: chaos.LinkCut{Edge: fat, From: mid, To: 2 * mid},
+		},
+		{
+			Name:     "partial-cut-announced",
+			Injector: chaos.LinkCut{Edge: fat, From: mid, To: 2 * mid, Survive: 0.5, Announce: -1},
+		},
+		{
+			Name:     "maintenance-drain",
+			Injector: chaos.MaintenanceDrain{Edge: fat, From: mid, To: 2 * mid, Ramp: ramp, Announce: -1},
+		},
+		{
+			Name:     "srlg-site-cut",
+			Injector: chaos.CorrelatedFailure{Edges: srlgGroup(s.Net), From: mid, To: 2 * mid},
+		},
+		{
+			Name: "flap-drain-compose",
+			Injector: chaos.Plan{
+				chaos.CapacityFlap{Edge: fat, From: mid, To: 2 * mid, Period: 2, Frac: 0.5},
+				chaos.MaintenanceDrain{Edge: fat, From: mid, To: 2 * mid, Ramp: ramp, Survive: 0.5, Announce: -1},
+			},
+		},
+		{
+			Name: "churn-storm",
+			Injector: chaos.Plan{
+				chaos.LinkCut{Edge: fat, From: mid, To: 2 * mid},
+				chaos.CorrelatedFailure{Edges: srlgGroup(s.Net), From: mid + 1, To: 2 * mid},
+				chaos.MaintenanceDrain{Edge: fat, From: 2*mid + 1, To: steps - 1, Ramp: ramp, Announce: -1},
+			},
+		},
+		{
+			// The no-repair-possible worst case: the solver dies at the
+			// same instant the topology churns, so plans laid while it was
+			// healthy are stranded and every repair solve fails too. The
+			// ladder must record repair-skipped and renege *visibly* —
+			// conservation and capacity invariants still hold, silent
+			// violation never does.
+			Name: "cut-with-dead-solver",
+			Injector: chaos.Plan{
+				chaos.CorrelatedFailure{Edges: srlgGroup(s.Net), From: mid, To: 2 * mid},
+				chaos.SolverOutage{Module: chaos.ModuleSAM, From: mid, To: steps - 1, Mode: chaos.Fail},
+			},
+			AllowReneges: true,
+		},
+	}
+}
+
+// ChurnGauntlet replays the default churn scripts at load 2 and reports,
+// per scenario: guarantees preempted, currency refunded, bytes reneged
+// (nonzero only in dead-solver scenarios), degraded steps, and the worst
+// ladder level hit. Any conservation breach aborts the gauntlet.
+func ChurnGauntlet(sc Scale, seed int64) ([]Row, error) {
+	s := NewSetup(sc, WithLoad(2), WithSeed(seed))
+	var rows []Row
+	for _, scen := range DefaultChurnScenarios(s) {
+		r, err := s.RunChurn(scen)
+		if err != nil {
+			return nil, err
+		}
+		degraded, worst := 0, core.LevelOK
+		for _, w := range r.Health.Worst {
+			if w > core.LevelOK {
+				degraded++
+			}
+			if w > worst {
+				worst = w
+			}
+		}
+		rows = append(rows, Row{Label: scen.Name, Columns: []Col{
+			{Name: "preempted", Value: float64(r.Preempted)},
+			{Name: "refunded", Value: r.RefundTotal},
+			{Name: "reneged", Value: r.Result.Report.RenegedBytes},
+			{Name: "degradedSteps", Value: float64(degraded)},
+			{Name: "worstLevel", Value: float64(worst)},
+		}})
+	}
+	return rows, nil
+}

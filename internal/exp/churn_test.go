@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"os"
+	"testing"
+
+	"pretium/internal/chaos"
+	"pretium/internal/core"
+)
+
+// TestChurnGauntletSmall replays every churn script at small scale: the
+// run must complete, realized usage must respect surviving capacity on
+// every link at every step, refunds must conserve to the cent, and no
+// solver-healthy scenario may renege a byte.
+func TestChurnGauntletSmall(t *testing.T) {
+	rows, err := ChurnGauntlet(Small(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(DefaultChurnScenarios(NewSetup(Small()))); len(rows) != want {
+		t.Fatalf("gauntlet produced %d rows, want %d (one per scenario)", len(rows), want)
+	}
+	cols := func(r Row) map[string]float64 {
+		m := make(map[string]float64, len(r.Columns))
+		for _, c := range r.Columns {
+			m[c.Name] = c.Value
+		}
+		return m
+	}
+	for _, r := range rows {
+		c := cols(r)
+		if r.Label == "cut-with-dead-solver" {
+			// The ladder bottomed out: worst level must be the skipped
+			// rung, and the reneges are visible rather than silent.
+			if c["worstLevel"] != float64(core.LevelRepairSkipped) {
+				t.Errorf("%s: worstLevel = %v, want repair-skipped (%d)",
+					r.Label, c["worstLevel"], core.LevelRepairSkipped)
+			}
+			continue
+		}
+		if c["reneged"] != 0 {
+			t.Errorf("%s: reneged %v bytes with a healthy solver", r.Label, c["reneged"])
+		}
+		if (c["preempted"] > 0) != (c["refunded"] > 0) {
+			t.Errorf("%s: preempted=%v but refunded=%v — refunds must accompany preemption",
+				r.Label, c["preempted"], c["refunded"])
+		}
+	}
+}
+
+// TestChurnGauntletMedium runs the same contract at the headline scale.
+func TestChurnGauntletMedium(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale gauntlet skipped in -short mode")
+	}
+	rows, err := ChurnGauntlet(Medium(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(DefaultChurnScenarios(NewSetup(Medium()))); len(rows) != want {
+		t.Fatalf("gauntlet produced %d rows, want %d", len(rows), want)
+	}
+}
+
+// TestChurnGauntletPaper is the acceptance run at the paper's topology
+// scale. It is opt-in (hours of simplex time on one core): set
+// PRETIUM_PAPER_GAUNTLET=1 to run it.
+func TestChurnGauntletPaper(t *testing.T) {
+	if os.Getenv("PRETIUM_PAPER_GAUNTLET") == "" {
+		t.Skip("set PRETIUM_PAPER_GAUNTLET=1 to run the paper-scale gauntlet")
+	}
+	if _, err := ChurnGauntlet(Paper(), 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunChurnMidRunSRLGConserves is the regression test for the repair
+// install's reservation accounting. Repair runs *before* step t's
+// admissions (unlike the SAM install, which runs after them), so the
+// rebuilt reservation matrix must keep step t reserved — releasing it
+// let same-step arrivals be quoted into cells the surviving plans still
+// occupied, the joint LP went infeasible, and SAM's relaxed rung reneged
+// 153.6 bytes silently at exactly this scale, seed, and cut window. The
+// durable contract: the mid-run SRLG cut resolves through preemption
+// with refunds that conserve, and not one byte reneges.
+func TestRunChurnMidRunSRLGConserves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale run skipped in -short mode")
+	}
+	s := NewSetup(Medium(), WithLoad(2), WithSeed(3))
+	steps := s.Scale.Steps
+	mid := steps / 3
+	r, err := s.RunChurn(ChurnScenario{
+		Name:     "srlg-midrun",
+		Injector: chaos.CorrelatedFailure{Edges: srlgGroup(s.Net), From: mid, To: 2 * mid},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Preempted == 0 || r.RefundTotal <= 0 {
+		t.Fatalf("preempted=%d refunded=%v — scenario no longer strands guarantees", r.Preempted, r.RefundTotal)
+	}
+	if got := r.Result.Report.RenegedBytes; got != 0 {
+		t.Errorf("reneged %v bytes — shortfall escaped the repair ladder", got)
+	}
+	preemptEvents := 0
+	for _, e := range r.Health.EventsAt(core.ModuleRepair) {
+		if e.Level == core.LevelRepairPreempt {
+			preemptEvents++
+		}
+	}
+	if preemptEvents == 0 {
+		t.Errorf("refunds issued without a repair-preempt event; repair events: %v",
+			r.Health.EventsAt(core.ModuleRepair))
+	}
+}
+
+// TestRunChurnSRLGForcesRefunds pins the preempt-and-refund rung end to
+// end at experiment scale: severing every edge out of the fattest link's
+// tail site strands guarantees that no re-route can save, so the run must
+// finish with explicit refunds, zero reneges, and net payments that
+// reflect the buy-back.
+func TestRunChurnSRLGForcesRefunds(t *testing.T) {
+	s := NewSetup(Small(), WithLoad(2), WithSeed(7))
+	steps := s.Scale.Steps
+	r, err := s.RunChurn(ChurnScenario{
+		Name:     "srlg-early-long",
+		Injector: chaos.CorrelatedFailure{Edges: srlgGroup(s.Net), From: 2, To: steps - 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Preempted == 0 {
+		t.Fatal("severing a whole site stranded no guarantees — scenario too weak to test the refund rung")
+	}
+	if r.RefundTotal <= 0 {
+		t.Errorf("preempted %d guarantees but refunded %v", r.Preempted, r.RefundTotal)
+	}
+	if got := r.Result.Report.RenegedBytes; got != 0 {
+		t.Errorf("reneged %v bytes despite refunds", got)
+	}
+	repair := r.Health.EventsAt(core.ModuleRepair)
+	if len(repair) == 0 {
+		t.Fatal("no repair events recorded")
+	}
+	preemptEvents := 0
+	for _, e := range repair {
+		if e.Level == core.LevelRepairPreempt {
+			preemptEvents++
+		}
+	}
+	if preemptEvents == 0 {
+		t.Errorf("refunds issued but no repair-preempt event in health: %s", r.Health.Summary())
+	}
+}

@@ -89,6 +89,16 @@ func Default() Scale {
 	}
 }
 
+// Medium is the headline scale under the name the churn gauntlet's CI
+// tier uses — identical to Default, aliased so test names and workflow
+// matrices can say small/medium/paper without conflating "default" (a
+// CLI fallback) with a size.
+func Medium() Scale {
+	sc := Default()
+	sc.Name = "medium"
+	return sc
+}
+
 // Paper approximates the evaluation scale of the paper itself: a
 // 105-node WAN (15 regions x 7 datacenters; the production network had
 // 106 nodes / 226 edges) over a week of hourly steps. Every LP the

@@ -8,6 +8,8 @@ package pricing
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"pretium/internal/graph"
 )
@@ -61,6 +63,17 @@ type State struct {
 	// valid between mutator calls.
 	segPrice []float64
 	segRoom  []float64
+
+	// Edge-outage overlay: capacity removed from (edge, step) by topology
+	// churn — link cuts, maintenance drains, correlated failures. Unlike
+	// the HighPri set-aside (a planning reservation), the overlay is
+	// *physical*: realized transfers clamp to the surviving capacity too.
+	// Contributions are kept per source so each injector restores exactly
+	// what it removed, no matter what else touched the edge in between;
+	// outTotal is the dense per-cell sum read by Capacity.
+	outTotal []float64                  // flattened [e*Horizon+t]
+	outBySrc map[string]map[int]float64 // source -> cell -> removed capacity
+	outVer   uint64
 }
 
 // NewState creates a state with uniform initial prices. Usage-priced
@@ -90,8 +103,96 @@ func NewState(net *graph.Network, horizon int, basePrice float64) *State {
 	}
 	s.segPrice = make([]float64, ne*horizon)
 	s.segRoom = make([]float64, ne*horizon)
+	s.outTotal = make([]float64, ne*horizon)
+	s.outBySrc = make(map[string]map[int]float64)
 	s.Invalidate()
 	return s
+}
+
+// SetOutage sets source src's churn contribution on (e, t): down units of
+// capacity are out of service. A down of 0 removes the contribution — the
+// exact-restore path, since the cell total is recomputed from the
+// surviving contributions rather than patched with inverse arithmetic.
+// Contributions from distinct sources stack; the effective capacity
+// saturates at zero on read, so overlapping outages compose safely and
+// each source still restores precisely its own share. down is clamped to
+// [0, physical capacity] per source (a source cannot remove more than the
+// whole link); non-finite values are rejected as 0.
+func (s *State) SetOutage(src string, e graph.EdgeID, t int, down float64) {
+	if t < 0 || t >= s.Horizon {
+		return
+	}
+	if math.IsNaN(down) || down < 0 {
+		down = 0
+	}
+	if cap := s.Net.Edge(e).Capacity; down > cap {
+		down = cap
+	}
+	idx := int(e)*s.Horizon + t
+	cells := s.outBySrc[src]
+	if cells[idx] == down {
+		return
+	}
+	if down == 0 {
+		delete(cells, idx)
+		if len(cells) == 0 {
+			delete(s.outBySrc, src)
+		}
+	} else {
+		if cells == nil {
+			cells = make(map[int]float64)
+			s.outBySrc[src] = cells
+		}
+		cells[idx] = down
+	}
+	// Recompute the cell total from scratch in sorted-source order: exact
+	// (a removed contribution leaves no float dust behind) and
+	// deterministic (the sum never depends on map iteration order).
+	srcs := make([]string, 0, len(s.outBySrc))
+	for k := range s.outBySrc {
+		srcs = append(srcs, k)
+	}
+	sort.Strings(srcs)
+	tot := 0.0
+	for _, k := range srcs {
+		tot += s.outBySrc[k][idx]
+	}
+	s.outTotal[idx] = tot
+	s.outVer++
+	s.refreshSeg(e, t)
+}
+
+// OutageAt returns the total churn-removed capacity on (e, t). Stacked
+// outages can exceed the physical capacity; Capacity clamps at zero.
+func (s *State) OutageAt(e graph.EdgeID, t int) float64 {
+	return s.outTotal[int(e)*s.Horizon+t]
+}
+
+// OutageVersion counts effective outage-overlay mutations. The control
+// loop compares versions across steps to detect topology churn and run
+// guarantee repair only when the overlay actually moved.
+func (s *State) OutageVersion() uint64 { return s.outVer }
+
+// OutageActive reports whether any injected outage removes capacity from
+// any edge in steps [from, to). The control loop uses it to scope churn
+// handling (e.g. refund-backed preemption of relaxed guarantees) to
+// windows where the topology is actually degraded.
+func (s *State) OutageActive(from, to int) bool {
+	if from < 0 {
+		from = 0
+	}
+	if to > s.Horizon {
+		to = s.Horizon
+	}
+	for e := 0; e < len(s.outTotal)/s.Horizon; e++ {
+		row := s.outTotal[e*s.Horizon : (e+1)*s.Horizon]
+		for t := from; t < to; t++ {
+			if row[t] > 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Invalidate rebuilds the whole segment cache from the exported matrices.
@@ -155,9 +256,13 @@ func (s *State) SetBasePrice(e graph.EdgeID, t int, price float64) {
 }
 
 // Capacity returns the bandwidth available to scheduled traffic on edge e
-// at time t (raw capacity minus the high-pri set-aside).
+// at time t (raw capacity minus the high-pri set-aside and any churn
+// outage).
 func (s *State) Capacity(e graph.EdgeID, t int) float64 {
 	c := s.Net.Edge(e).Capacity - s.HighPri[e][t]
+	if out := s.outTotal[int(e)*s.Horizon+t]; out > 0 {
+		c -= out
+	}
 	if c < 0 {
 		return 0
 	}

@@ -29,6 +29,12 @@ type Outcome struct {
 	// Reneged[i] is the guaranteed-but-undelivered bytes of request i
 	// (only meaningful for schemes that promise guarantees).
 	Reneged []float64
+	// Refunded[i] is the currency explicitly returned to request i for
+	// guarantees bought back under topology churn (preemption with
+	// refund). Payments[i] is already net of it: a preempted customer
+	// pays the pro-rata price of delivered bytes and is made whole for
+	// the rest — refunded shortfall is not a renege.
+	Refunded []float64
 	// Events logs when bytes were delivered; the incentives experiment
 	// (§5) uses it to value a deviator's transfer against their *true*
 	// deadline rather than the reported one.
@@ -59,6 +65,7 @@ func NewOutcome(numRequests int, net *graph.Network, horizon int) *Outcome {
 		Delivered: make([]float64, numRequests),
 		Payments:  make([]float64, numRequests),
 		Reneged:   make([]float64, numRequests),
+		Refunded:  make([]float64, numRequests),
 		Usage:     make([][]float64, net.NumEdges()),
 	}
 	for e := range o.Usage {
@@ -84,6 +91,9 @@ type Report struct {
 	CompletionFrac float64
 	// RenegedBytes totals guarantee violations across requests.
 	RenegedBytes float64
+	// RefundedTotal is the currency returned for guarantees bought back
+	// under churn (already subtracted from Revenue).
+	RefundedTotal float64
 }
 
 // Evaluate computes the Report for an outcome.
@@ -100,6 +110,9 @@ func Evaluate(net *graph.Network, reqs []*traffic.Request, o *Outcome, costCfg c
 		}
 		if o.Reneged != nil {
 			r.RenegedBytes += o.Reneged[i]
+		}
+		if o.Refunded != nil {
+			r.RefundedTotal += o.Refunded[i]
 		}
 	}
 	if len(reqs) > 0 {
@@ -135,6 +148,26 @@ func CheckCapacities(net *graph.Network, usage [][]float64, tol float64) error {
 		for t, u := range usage[e.ID] {
 			if u > e.Capacity+tol {
 				return fmt.Errorf("sim: edge %d over capacity at t=%d: %v > %v", e.ID, t, u, e.Capacity)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCapacitiesAgainst verifies usage respects an explicit
+// per-(edge, step) capacity matrix — the surviving capacity under
+// injected topology churn, rather than the nameplate link capacity.
+func CheckCapacitiesAgainst(usage, capacity [][]float64, tol float64) error {
+	if len(usage) != len(capacity) {
+		return fmt.Errorf("sim: usage covers %d edges, capacity %d", len(usage), len(capacity))
+	}
+	for e := range usage {
+		for t, u := range usage[e] {
+			if t >= len(capacity[e]) {
+				break
+			}
+			if u > capacity[e][t]+tol {
+				return fmt.Errorf("sim: edge %d over surviving capacity at t=%d: %v > %v", e, t, u, capacity[e][t])
 			}
 		}
 	}
