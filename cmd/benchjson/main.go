@@ -20,7 +20,12 @@
 // Each gate names a benchmark, a metric unit, and a ceiling; a gate whose
 // benchmark or unit is missing fails too, so a renamed bench cannot
 // silently disarm its guard. Any violation exits 1 after the report is
-// written.
+// written. The unit may be a raw bench unit ("allocs/op", "pivots") or one
+// of the promoted JSON field names ("ns_per_op", "bytes_per_op",
+// "allocs_per_op") — the latter make wall-clock ceilings expressible
+// without shell-quoting a slash:
+//
+//	go run ./cmd/benchjson -gate 'BenchmarkSAMSolve/Paper/sparse:ns_per_op<=45000000000'
 package main
 
 import (
@@ -75,13 +80,26 @@ func parseGate(s string) (gate, error) {
 
 // check returns an error unless some result matches the gate's benchmark
 // name and holds the metric at or under the ceiling. A missing benchmark
-// or unit is a failure: a renamed bench must take its guard along.
+// or unit is a failure: a renamed bench must take its guard along. The
+// promoted JSON field names (ns_per_op, bytes_per_op, allocs_per_op) work
+// as units alongside the raw bench units, so wall-clock ceilings read the
+// same key the report publishes.
 func (g gate) check(results []result) error {
 	for _, r := range results {
 		if r.Name != g.bench {
 			continue
 		}
 		v, ok := r.Metrics[g.unit]
+		if !ok {
+			switch g.unit {
+			case "ns_per_op":
+				v, ok = r.NsPerOp, r.NsPerOp != 0
+			case "bytes_per_op":
+				v, ok = r.BytesPerOp, r.BytesPerOp != 0
+			case "allocs_per_op":
+				v, ok = r.AllocsPerOp, r.AllocsPerOp != 0
+			}
+		}
 		if !ok {
 			return fmt.Errorf("gate %s: benchmark did not report %q", g.bench, g.unit)
 		}

@@ -78,7 +78,8 @@ func TestParseGate(t *testing.T) {
 func TestGateCheck(t *testing.T) {
 	results := []result{{
 		Name:    "BenchmarkSAMSolve/Paper/sparse",
-		Metrics: map[string]float64{"pivots": 28854, "allocs/op": 330894},
+		NsPerOp: 14.2e9,
+		Metrics: map[string]float64{"pivots": 28854, "allocs/op": 330894, "ns/op": 14.2e9},
 	}}
 	cases := []struct {
 		gate string
@@ -89,6 +90,13 @@ func TestGateCheck(t *testing.T) {
 		{"BenchmarkSAMSolve/Paper/sparse:pivots<=28853", false},
 		{"BenchmarkSAMSolve/Paper/sparse:refactors<=100", false}, // unit not reported
 		{"BenchmarkGone:pivots<=1e9", false},                     // bench not present
+		// Wall-clock ceilings via the promoted field name and the raw unit.
+		{"BenchmarkSAMSolve/Paper/sparse:ns_per_op<=45000000000", true},
+		{"BenchmarkSAMSolve/Paper/sparse:ns_per_op<=1000000000", false},
+		{"BenchmarkSAMSolve/Paper/sparse:ns/op<=45000000000", true},
+		// A promoted field the bench never reported (zero) stays a failure:
+		// a disarmed wall-clock gate must be loud, not silently green.
+		{"BenchmarkSAMSolve/Paper/sparse:bytes_per_op<=1", false},
 	}
 	for _, c := range cases {
 		g, err := parseGate(c.gate)

@@ -170,4 +170,11 @@ func (o *coreObs) publishLP(m *obs.Metrics, prefix string, s lp.SolveStats) {
 	m.Counter(prefix + ".warm_starts").Add(int64(s.WarmStarts))
 	m.Counter(prefix + ".devex_solves").Add(int64(s.DevexSolves))
 	m.Counter(prefix + ".dual_cold_starts").Add(int64(s.DualColdStarts))
+	// Per-phase wall-clock breakdown (see lp.PhaseTimings): localizes a
+	// solver wall-clock regression to pricing, FTRAN, BTRAN, or
+	// refactorization without a profiler attached.
+	m.Counter(prefix + ".pricing_ns").Add(s.Timings.PricingNs)
+	m.Counter(prefix + ".ftran_ns").Add(s.Timings.FtranNs)
+	m.Counter(prefix + ".btran_ns").Add(s.Timings.BtranNs)
+	m.Counter(prefix + ".refactor_ns").Add(s.Timings.RefactorNs)
 }

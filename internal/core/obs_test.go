@@ -86,6 +86,14 @@ func TestControllerObsNeutralAndCounted(t *testing.T) {
 	if got := m.Counter("sam.lp.iterations").Value(); got < 1 {
 		t.Errorf("sam.lp.iterations = %d, want >= 1", got)
 	}
+	// The per-phase solver clocks publish alongside the counts: any run
+	// with pivots must have spent measurable time pricing and in FTRAN.
+	if got := m.Counter("sam.lp.pricing_ns").Value(); got < 1 {
+		t.Errorf("sam.lp.pricing_ns = %d, want >= 1", got)
+	}
+	if got := m.Counter("sam.lp.ftran_ns").Value(); got < 1 {
+		t.Errorf("sam.lp.ftran_ns = %d, want >= 1", got)
+	}
 }
 
 // TestWarmStartCounted forces the ladder's relax rung — an announced

@@ -160,6 +160,210 @@ func TestHyperSparseSolvesMatchDense(t *testing.T) {
 	probe("after refactorize of mutated basis")
 }
 
+// ftranResidual returns max|B·w − a| for the basis B given by basis over
+// std — the direct ground-truth check that w really is B⁻¹·a, independent
+// of any kernel code path.
+func ftranResidual(std *standard, basis []int, w, a []float64) float64 {
+	res := make([]float64, std.m)
+	for p, j := range basis {
+		if w[p] == 0 {
+			continue
+		}
+		for _, e := range std.cols[j] {
+			res[e.row] += e.val * w[p]
+		}
+	}
+	worst := 0.0
+	for i := range res {
+		if d := math.Abs(res[i] - a[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// btranUnitResidual returns max|outᵀ·B − eᵣᵀ|: the direct check that out is
+// row r of B⁻¹.
+func btranUnitResidual(std *standard, basis []int, out []float64, r int) float64 {
+	worst := 0.0
+	for p, j := range basis {
+		dot := 0.0
+		for _, e := range std.cols[j] {
+			dot += out[e.row] * e.val
+		}
+		want := 0.0
+		if p == r {
+			want = 1
+		}
+		if d := math.Abs(dot - want); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestFTLongChainDifferential drives the Forrest–Tomlin update structure
+// through a long pivot chain on a 4500-row staircase basis — far past the
+// eta-era refactor cadence — and verifies it three ways: directly against
+// the mutated basis matrix (B·w = a residuals, no kernel in the oracle),
+// against a fresh refactorization of the same mutated basis, and for clone
+// isolation (a mid-chain snapshot must keep answering for its own basis
+// after the parent pivots on and refactorizes). Growth-triggered
+// refactorizations of the FT-mutated structure are exercised in-chain,
+// exactly as the solver drives them.
+func TestFTLongChainDifferential(t *testing.T) {
+	m := 4500
+	r := rand.New(rand.NewSource(97))
+	std, basis := bigStaircaseBasis(r, m)
+	// bigStaircaseBasis makes every column basic (n = m); a pivot chain
+	// needs a nonbasic pool, so widen the matrix with sparse random
+	// columns for the chain to bring in and out.
+	for j := m; j < m+m/4; j++ {
+		col := []entry{{row: r.Intn(m), val: 1 + r.Float64()}}
+		for k := 0; k < 2+r.Intn(3); k++ {
+			col = append(col, entry{row: r.Intn(m), val: r.Float64() - 0.5})
+		}
+		std.cols = append(std.cols, coalesce(col))
+	}
+	std.n = len(std.cols)
+	inBasis := make([]bool, std.n)
+	for _, j := range basis {
+		inBasis[j] = true
+	}
+
+	lu := newFactor(false).(*luFactor)
+	lu.reset(m)
+	if !lu.ftMode {
+		t.Fatalf("m=%d should select Forrest–Tomlin mode", m)
+	}
+	if out := lu.refactorize(std, basis, time.Time{}); out != refactorOK {
+		t.Fatalf("refactorize outcome %v", out)
+	}
+
+	var (
+		snapshot  *luFactor // clone taken mid-chain
+		basisSnap []int
+	)
+	w := make([]float64, m)
+	var wPrev []int32
+	pivots, refactors := 0, 0
+	for piv := 0; pivots < 240 && piv < 2000; piv++ {
+		if lu.wantRefactor() {
+			if out := lu.refactorize(std, basis, time.Time{}); out != refactorOK {
+				t.Fatalf("growth-triggered refactorize at pivot %d: outcome %v", pivots, out)
+			}
+			refactors++
+		}
+		q := r.Intn(std.n)
+		if inBasis[q] {
+			continue // a basic column may not enter (mirrors basePos gating)
+		}
+		wPrev = lu.ftranColNz(std.cols[q], w, wPrev)
+		leave := -1
+		for _, i := range wPrev {
+			if math.Abs(w[i]) > 0.3 {
+				leave = int(i)
+				break
+			}
+		}
+		if leave < 0 {
+			continue
+		}
+		lu.updateNz(leave, w, wPrev)
+		inBasis[basis[leave]] = false
+		inBasis[q] = true
+		basis[leave] = q
+		pivots++
+		if pivots == 120 {
+			snapshot = lu.clone().(*luFactor)
+			basisSnap = append([]int(nil), basis...)
+		}
+		if pivots == 180 {
+			// Refactorize mid-chain with updates still pending: the FT
+			// structure (in-place U rewrites, permuted step order) must
+			// rebuild cleanly from the mutated basis, and the chain then
+			// keeps updating the rebuilt factor.
+			if out := lu.refactorize(std, basis, time.Time{}); out != refactorOK {
+				t.Fatalf("mid-chain refactorize of FT-mutated basis: outcome %v", out)
+			}
+			refactors++
+		}
+	}
+	if pivots < 240 {
+		t.Fatalf("chain stalled at %d pivots", pivots)
+	}
+	if snapshot == nil {
+		t.Fatal("mid-chain snapshot never taken")
+	}
+	if refactors == 0 {
+		t.Fatal("chain never refactorized the FT-mutated basis")
+	}
+	t.Logf("chain: %d pivots, %d refactorizations, age %d", pivots, refactors, lu.age())
+
+	// A fresh factorization of the same mutated basis is the differential
+	// oracle; the basis matrix itself is the absolute one.
+	fresh := newFactor(false).(*luFactor)
+	fresh.reset(m)
+	if out := fresh.refactorize(std, basis, time.Time{}); out != refactorOK {
+		t.Fatalf("fresh refactorize of mutated basis: outcome %v", out)
+	}
+	dOut := make([]float64, m)
+	aBuf := make([]float64, m)
+	sFtran := make([]float64, m)
+	var ftranPrev []int32
+	for k := 0; k < 12; k++ {
+		col := coalesce([]entry{
+			{row: r.Intn(m), val: r.Float64() + 0.2},
+			{row: r.Intn(m), val: r.Float64() - 0.5},
+			{row: r.Intn(m), val: 1.1},
+		})
+		ftranPrev = lu.ftranColNz(col, sFtran, ftranPrev)
+		for i := range aBuf {
+			aBuf[i] = 0
+		}
+		for _, e := range col {
+			aBuf[e.row] = e.val
+		}
+		if res := ftranResidual(std, basis, sFtran, aBuf); res > 1e-6 {
+			t.Fatalf("ftran probe %d: FT solve residual %g vs mutated basis", k, res)
+		}
+		fresh.ftranCol(col, dOut)
+		checkNzAgainstDense(t, dOut, sFtran, ftranPrev, 1e-6, "FT vs fresh: ftran")
+	}
+	sBtran := make([]float64, m)
+	var btranPrev []int32
+	for k := 0; k < 12; k++ {
+		rr := r.Intn(m)
+		btranPrev = lu.btranUnitNz(rr, sBtran, btranPrev)
+		if res := btranUnitResidual(std, basis, sBtran, rr); res > 1e-6 {
+			t.Fatalf("btran probe %d: FT solve residual %g vs mutated basis", k, res)
+		}
+		fresh.btranUnit(rr, dOut)
+		checkNzAgainstDense(t, dOut, sBtran, btranPrev, 1e-6, "FT vs fresh: btran")
+	}
+
+	// Clone isolation: the snapshot answers for the basis as of pivot 120,
+	// unaffected by the parent's later updates and refactorizations.
+	for k := 0; k < 8; k++ {
+		rr := r.Intn(m)
+		snapshot.btranUnit(rr, dOut)
+		if res := btranUnitResidual(std, basisSnap, dOut, rr); res > 1e-6 {
+			t.Fatalf("snapshot btran probe %d: residual %g vs its own basis", k, res)
+		}
+	}
+	col := coalesce([]entry{{row: r.Intn(m), val: 1.5}, {row: r.Intn(m), val: -0.7}})
+	snapshot.ftranCol(col, dOut)
+	for i := range aBuf {
+		aBuf[i] = 0
+	}
+	for _, e := range col {
+		aBuf[e.row] = e.val
+	}
+	if res := ftranResidual(std, basisSnap, dOut, aBuf); res > 1e-6 {
+		t.Fatalf("snapshot ftran: residual %g vs its own basis", res)
+	}
+}
+
 // TestBigScaleSolveKKT runs the full solve pipeline at hyper-sparse scale
 // — staged cold start, candidate-list pricing, Nz pivot loops, peeled
 // refactorizations — on a staircase LP, and verifies the reported optimum

@@ -6,13 +6,23 @@ import (
 )
 
 // luFactor is the sparse kernel: the basis is held as a sparse LU
-// factorization with Markowitz-style pivot ordering, and pivots applied
-// since the last factorization live in a product-form eta file. FTRAN and
-// BTRAN are sparse triangular solves plus an eta pass, so their cost tracks
-// the factorization's nonzero count instead of m² — on Pretium's SAM models
-// (flow rows, per-(edge,t) capacity rows, sorting-network comparators, each
-// touching a handful of variables) that is the difference between O(m²) and
-// near-O(nnz) per pivot.
+// factorization with Markowitz-style pivot ordering. Pivots applied since
+// the last factorization are absorbed by one of two update schemes:
+//
+//   - Small models (m < nzVectorMinRows) keep the product-form eta file:
+//     update() appends an eta vector, FTRAN applies the file last in order
+//     and BTRAN first in reverse. The float stream of these models is
+//     pinned by the golden-trace suite, so this path never changes.
+//   - At hyper-sparse scale the kernel switches to Forrest–Tomlin updates
+//     (ftMode): each pivot rewrites the U factor in place — the entering
+//     column's spike v = U·w̃ replaces U's column at the leaving step, the
+//     step moves to the end of a *logical* pivot order, and the leaving
+//     step's old row is eliminated against the rows below it, appending
+//     row-elimination multipliers (ftOps) that FTRAN applies to the
+//     right-hand side after L and BTRAN applies transposed in reverse.
+//     FTRAN/BTRAN stay pure L/U triangular solves with no eta-file replay,
+//     so per-pivot solve cost tracks the (slowly growing) factor fill
+//     rather than the pivot count since the last refactorization.
 //
 // Representation. Factorization of B (rows = constraint rows, columns =
 // basis positions) by right-looking Gaussian elimination choosing pivot
@@ -25,9 +35,13 @@ import (
 //   - urows/udiag + permRow/permPos: the rows that became pivot rows, i.e.
 //     U in elimination order; entries are indexed by elimination step so
 //     back-substitution (FTRAN) and the transposed forward solve (BTRAN)
-//     are direct slice walks.
-//   - etas: product-form updates E_1…E_k appended by update(); B = B₀E₁…E_k
-//     so FTRAN applies them last in order and BTRAN first in reverse.
+//     are direct slice walks. In ftMode the *iteration* order is the
+//     logical order (ordNext/ordPrev), which starts equal to step order
+//     and diverges as updates move steps to the end; the triangular
+//     invariant ord[row] < ord[col] holds for every off-diagonal entry.
+//   - etas: product-form updates E_1…E_k appended by update() when ftMode
+//     is off; B = B₀E₁…E_k so FTRAN applies them last in order and BTRAN
+//     first in reverse. Empty in ftMode.
 //
 // All iteration orders are slice-deterministic: two solves of the same
 // model pivot identically (warm-start determinism tests rely on this).
@@ -42,7 +56,30 @@ type luFactor struct {
 	etas    []eta
 	etaNnz  int
 	baseNnz int  // nnz(L)+nnz(U) at factorization, anchors the growth policy
-	drift   bool // an ill-conditioned eta pivot was absorbed
+	drift   bool // an ill-conditioned update pivot was absorbed
+
+	// Forrest–Tomlin update state (ftMode only; see the type comment).
+	// Update-added U entries never grow the arena-carved static rows:
+	// they live in per-row overflow chains (xhead heads a linked list
+	// through the xpool slab), so a pivot's structural writes are pool
+	// appends and in-place unlinks — amortized-zero allocations. ucols is
+	// the exact dynamic transpose (rows holding a U entry per column),
+	// maintained eagerly on every update so the dependency-ordered
+	// hyper-sparse worklists stay correct as the structure mutates; it
+	// replaces the static ucPtr/ucIdx CSR, which is not built in ftMode.
+	ftMode  bool
+	ftOps   []ftOp  // row-elimination ops in application (append) order
+	ftNnz   int     // update fill: spike entries + op multipliers absorbed
+	nupd    int     // updates since refactorize (the age in ftMode)
+	ord     []int64 // step -> logical order key, strictly increasing along the order
+	ordNext []int32 // step -> successor in logical order (-1 at tail)
+	ordPrev []int32 // step -> predecessor in logical order (-1 at head)
+	ordHead int32
+	ordTail int32
+	nextOrd int64
+	xhead   []int32   // step -> first xpool index of its overflow entries (-1 none)
+	xpool   []lux     // overflow entry slab, recycled at refactorize
+	ucols   [][]int32 // column step -> rows holding a U entry there (exact)
 
 	// Transposed factorization structure for rhs-sparsity-adaptive solves.
 	// ucPtr/ucIdx is a CSR map from elimination step k to the earlier steps
@@ -68,6 +105,26 @@ type luFactor struct {
 	zwork []float64 // elimination-order scratch
 	umark []bool    // FTRAN U-solve reachability marks (self-clearing)
 	lmark []bool    // BTRAN L-op reachability marks (cleared per solve)
+
+	// Forrest–Tomlin update scratch (ftMode only). ftb holds the scattered
+	// step-space image of the tableau column while the spike is computed,
+	// ftw the row-spike working values during elimination; both are kept
+	// all-zero between calls. ftmark tags worklist membership and ftheap /
+	// ftlist are the ord-keyed worklist and its companion lists.
+	ftb, ftw []float64
+	ftmark   []bool
+	ftheap   []int64
+	ftlist   []int32
+	ftvals   []float64
+
+	// Spike stash: the step-space image F(a) captured by the last hyper-
+	// sparse FTRAN, which is exactly the spike column the next ftUpdate
+	// needs. stashPtr identifies the output buffer the FTRAN filled; an
+	// update whose w is that same buffer reuses the stash and skips the
+	// U·w̃ recomputation. Any update or refactorization invalidates it.
+	stashK   []int32
+	stashV   []float64
+	stashPtr *float64
 
 	// Hyper-sparse solve scratch. sxw/szw are kept all-zero between calls
 	// (each call clears exactly what it touched); the marks likewise. omark
@@ -347,6 +404,23 @@ type eta struct {
 	nz  []entry // entry.row is a basis position here
 }
 
+// ftOp is one Forrest–Tomlin row-elimination multiplier, in step space:
+// FTRAN applies z[s] -= val·z[j] to the right-hand side after the L pass,
+// BTRAN applies the transpose (z[j] -= val·z[s]) in reverse order.
+type ftOp struct {
+	s, j int32
+	val  float64
+}
+
+// lux is one overflow U entry added by a Forrest–Tomlin update: k is the
+// column step (same convention as lue), next chains the owning row's
+// overflow entries through the pool (-1 ends the chain).
+type lux struct {
+	k    int32
+	next int32
+	val  float64
+}
+
 const (
 	// markowitzTau is the threshold-pivoting stability factor: a pivot
 	// must be at least this fraction of its column's largest magnitude.
@@ -374,6 +448,14 @@ const (
 	// refactorization is requested — past that point applying the eta
 	// file costs more than refactoring.
 	etaGrowthLimit = 4
+	// ftGrowthLimit is the Forrest–Tomlin analogue: updates absorb their
+	// fill into the factor itself, so the budget is measured fill (spike
+	// entries plus row-elimination multipliers) against the base
+	// factorization, and it is deliberately tighter than the eta limit —
+	// FT fill is paid on *every* subsequent solve, an eta only on replay.
+	// This measured-growth trigger, not a fixed pivot cadence, is what
+	// paces refactorization in ftMode (see wantRefactor).
+	ftGrowthLimit = 1
 )
 
 // minPush32/minPop32 and maxPush32/maxPop32 are the binary-heap worklists of
@@ -455,6 +537,88 @@ func maxPop32(h []int32) (int32, []int32) {
 	return top, h
 }
 
+// minPush64/minPop64 and maxPush64/maxPop64 are the ord-keyed worklist
+// heaps of the Forrest–Tomlin solve paths. After FT updates the dependency
+// order of U's steps is the *logical* order, not the step index order, so
+// worklist entries carry the packed key ord[k]<<32|k — heap order on the
+// key is heap order on ord (keys are unique: ord is injective).
+func minPush64(h []int64, v int64) []int64 {
+	h = append(h, v)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func minPop64(h []int64) (int64, []int64) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r] < h[l] {
+			l = r
+		}
+		if h[i] <= h[l] {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	return top, h
+}
+
+func maxPush64(h []int64, v int64) []int64 {
+	h = append(h, v)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] >= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func maxPop64(h []int64) (int64, []int64) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r] > h[l] {
+			l = r
+		}
+		if h[i] >= h[l] {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	return top, h
+}
+
+// ftKey packs step k with its logical order for the worklist heaps.
+func (f *luFactor) ftKey(k int32) int64 { return f.ord[k]<<32 | int64(k) }
+
 // nzCutoff is the worklist size beyond which a hyper-sparse stage stops
 // paying heap log-factors and degrades to a linear mark-driven sweep (the
 // marks are already in place; the sweep visits indices in the same direction
@@ -469,10 +633,26 @@ func nzCutoff(n int) int {
 }
 
 func (f *luFactor) denseKernel() bool { return false }
-func (f *luFactor) age() int          { return len(f.etas) }
 
+// age counts the updates absorbed since the last refactorization: eta
+// vectors in product-form mode, in-place U rewrites in ftMode.
+func (f *luFactor) age() int { return len(f.etas) + f.nupd }
+
+// wantRefactor requests a refactorization when the representation has
+// drifted numerically or the update scheme's measured fill growth has
+// passed its budget. In ftMode the budget is adaptive in the literal
+// sense: it tracks the fill each pivot actually absorbed into U (spike
+// entries plus elimination multipliers) rather than assuming a fixed
+// per-pivot cost, so sparse pivot chains run long between
+// refactorizations and dense ones refactor early.
 func (f *luFactor) wantRefactor() bool {
-	return f.drift || f.etaNnz > etaGrowthLimit*f.baseNnz+4*f.m
+	if f.drift {
+		return true
+	}
+	if f.ftMode {
+		return f.ftNnz > ftGrowthLimit*f.baseNnz+4*f.m
+	}
+	return f.etaNnz > etaGrowthLimit*f.baseNnz+4*f.m
 }
 
 func (f *luFactor) ensureScratch() {
@@ -497,6 +677,55 @@ func (f *luFactor) ensureNzScratch() {
 	if len(f.omark) < len(f.lops) {
 		f.omark = make([]bool, len(f.lops))
 	}
+}
+
+// ensureFtScratch sizes the Forrest–Tomlin update working set. ftb/ftw
+// come back from make all-zero, establishing the kept-clean invariant.
+func (f *luFactor) ensureFtScratch() {
+	if len(f.ftb) != f.m {
+		f.ftb = make([]float64, f.m)
+		f.ftw = make([]float64, f.m)
+		f.ftmark = make([]bool, f.m)
+	}
+}
+
+// ftReset (re)initializes the Forrest–Tomlin bookkeeping for a fresh
+// factorization of m steps: logical order equal to step order, no ops, no
+// overflow entries. ucols is left to the caller (refactorize builds it
+// from U; reset leaves it empty — the identity has no off-diagonals).
+func (f *luFactor) ftReset(m int) {
+	f.ftMode = true
+	f.ftOps = f.ftOps[:0]
+	f.ftNnz = 0
+	f.nupd = 0
+	f.stashPtr = nil
+	f.xpool = f.xpool[:0]
+	if len(f.ord) != m {
+		f.ord = make([]int64, m)
+		f.ordNext = make([]int32, m)
+		f.ordPrev = make([]int32, m)
+		f.xhead = make([]int32, m)
+	}
+	for k := 0; k < m; k++ {
+		f.ord[k] = int64(k)
+		f.ordNext[k] = int32(k + 1)
+		f.ordPrev[k] = int32(k - 1)
+		f.xhead[k] = -1
+	}
+	if m > 0 {
+		f.ordNext[m-1] = -1
+		f.ordHead, f.ordTail = 0, int32(m-1)
+	} else {
+		f.ordHead, f.ordTail = -1, -1
+	}
+	f.nextOrd = int64(m)
+	if len(f.ucols) != m {
+		f.ucols = make([][]int32, m)
+	}
+	for k := 0; k < m; k++ {
+		f.ucols[k] = f.ucols[k][:0]
+	}
+	f.ensureFtScratch()
 }
 
 // reset installs the identity factorization (the cold-start basis is the
@@ -557,6 +786,12 @@ func (f *luFactor) reset(m int) {
 	f.etaNnz = 0
 	f.baseNnz = m
 	f.drift = false
+	if m >= nzVectorMinRows {
+		f.ftReset(m)
+	} else {
+		f.ftMode = false
+		f.nupd = 0
+	}
 	f.ensureScratch()
 }
 
@@ -602,6 +837,13 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 	colCount := s.colCount
 	rowCount := s.rowCount
 	for p, j := range basis {
+		// Pre-size the column list (its exact initial count is the basis
+		// column's length) with headroom for elimination fill, so the build
+		// and the fill appends stay off the allocator on the first call and
+		// reuse retained capacity afterwards.
+		if c := len(std.cols[j]); cap(colRows[p]) < c {
+			colRows[p] = make([]int32, 0, c+c/2+8)
+		}
 		col := std.cols[j]
 		for _, e := range col {
 			rowNz[e.row] = append(rowNz[e.row], ment{pos: int32(p), val: e.val})
@@ -911,36 +1153,42 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 
 	// Transposes for the sparsity-adaptive solves. Recycled like the
 	// factorization they mirror (clones share both, so `fresh` governs
-	// them too); the fill cursor is pure scratch.
+	// them too); the fill cursor is pure scratch. In ftMode the static
+	// CSR column map is replaced by the exact dynamic lists the updates
+	// maintain (ucols, built below), so it is not built at all.
+	ft := m >= nzVectorMinRows
 	var ucPtr []int32
-	if fresh {
-		ucPtr = make([]int32, m+1)
-	} else {
-		ucPtr = f.ucPtr
-		for i := range ucPtr {
-			ucPtr[i] = 0
+	var ucIdx []int32
+	if !ft {
+		if fresh {
+			ucPtr = make([]int32, m+1)
+		} else {
+			ucPtr = f.ucPtr
+			for i := range ucPtr {
+				ucPtr[i] = 0
+			}
 		}
-	}
-	for _, u := range ur {
-		for _, e := range u {
-			ucPtr[e.k+1]++
+		for _, u := range ur {
+			for _, e := range u {
+				ucPtr[e.k+1]++
+			}
 		}
-	}
-	for k := 0; k < m; k++ {
-		ucPtr[k+1] += ucPtr[k]
-	}
-	ucIdx := f.ucIdx
-	if need := int(ucPtr[m]); fresh || cap(ucIdx) < need {
-		ucIdx = make([]int32, need)
-	} else {
-		ucIdx = ucIdx[:need]
-	}
-	ucFill := s.fill
-	copy(ucFill, ucPtr[:m])
-	for k, u := range ur {
-		for _, e := range u {
-			ucIdx[ucFill[e.k]] = int32(k)
-			ucFill[e.k]++
+		for k := 0; k < m; k++ {
+			ucPtr[k+1] += ucPtr[k]
+		}
+		ucIdx = f.ucIdx
+		if need := int(ucPtr[m]); fresh || cap(ucIdx) < need {
+			ucIdx = make([]int32, need)
+		} else {
+			ucIdx = ucIdx[:need]
+		}
+		ucFill := s.fill
+		copy(ucFill, ucPtr[:m])
+		for k, u := range ur {
+			for _, e := range u {
+				ucIdx[ucFill[e.k]] = int32(k)
+				ucFill[e.k]++
+			}
 		}
 	}
 	var lrPtr []int32
@@ -966,7 +1214,7 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 	} else {
 		lrIdx = lrIdx[:need]
 	}
-	lrFill := ucFill[:0]
+	lrFill := s.fill[:0]
 	lrFill = append(lrFill, lrPtr[:m]...)
 	for li := range lops {
 		for _, nz := range lops[li].nz {
@@ -1002,7 +1250,9 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 	f.posStep = posOfPos
 	f.stepOfRow = stepOfRow
 	f.rowOp = rowOp
-	f.ucPtr, f.ucIdx = ucPtr, ucIdx
+	if !ft {
+		f.ucPtr, f.ucIdx = ucPtr, ucIdx
+	}
 	f.lrPtr, f.lrIdx = lrPtr, lrIdx
 	s.uArena = uArena[:0]
 	if len(f.lmark) < len(lops) {
@@ -1024,6 +1274,35 @@ func (f *luFactor) refactorize(std *standard, basis []int, deadline time.Time) r
 	f.etaNnz = 0
 	f.baseNnz = nnz
 	f.drift = false
+	if ft {
+		f.ftReset(m)
+		// Count column occupancy first (ftw is all-zero between calls and
+		// free here, so it doubles as the counting scratch), then pre-size
+		// each list with a little headroom for later spike rebuilds; the
+		// build itself then stays off the allocator, and retained capacity
+		// covers subsequent refactorizations.
+		cnt := f.ftw
+		for k := range ur {
+			for _, e := range ur[k] {
+				cnt[e.k]++
+			}
+		}
+		for k := 0; k < m; k++ {
+			c := int(cnt[k])
+			cnt[k] = 0
+			if c > 0 && cap(f.ucols[k]) < c {
+				f.ucols[k] = make([]int32, 0, c+8)
+			}
+		}
+		for k := range ur {
+			for _, e := range ur[k] {
+				f.ucols[e.k] = append(f.ucols[e.k], int32(k))
+			}
+		}
+	} else {
+		f.ftMode = false
+		f.nupd = 0
+	}
 	// The workspace doubled as the scatter buffer; leave it zeroed.
 	for i := range ws {
 		ws[i] = 0
@@ -1051,6 +1330,46 @@ func (f *luFactor) solveForward(x, out []float64) {
 				x[nz.row] -= nz.val * pv
 			}
 		}
+	}
+	if f.ftMode {
+		// FT row ops transform the step-space rhs in application order;
+		// since z₀[k] ≡ x[permRow[k]] they run on x through the gather.
+		for i := range f.ftOps {
+			op := &f.ftOps[i]
+			pv := x[f.permRow[op.j]]
+			if pv != 0 {
+				x[f.permRow[op.s]] -= op.val * pv
+			}
+		}
+		// Back-substitution walks the *logical* order descending; every
+		// entry's column is logically later, so its z is already final.
+		z := f.zwork
+		mk := f.umark
+		for k := f.ordTail; k >= 0; k = f.ordPrev[k] {
+			v := x[f.permRow[k]]
+			if !mk[k] && v == 0 {
+				z[k] = 0
+				continue
+			}
+			mk[k] = false
+			for _, e := range f.ur[k] {
+				v -= e.val * z[e.k]
+			}
+			for xi := f.xhead[k]; xi >= 0; xi = f.xpool[xi].next {
+				v -= f.xpool[xi].val * z[f.xpool[xi].k]
+			}
+			t := v / f.ud[k]
+			z[k] = t
+			if t != 0 {
+				for _, c := range f.ucols[k] {
+					mk[c] = true
+				}
+			}
+		}
+		for k := 0; k < f.m; k++ {
+			out[f.permPos[k]] = z[k]
+		}
+		return
 	}
 	z := f.zwork
 	mk := f.umark
@@ -1128,12 +1447,36 @@ func (f *luFactor) solveBackward(p, out []float64) {
 	for k := 0; k < f.m; k++ {
 		z[k] = p[f.permPos[k]]
 	}
-	for k := 0; k < f.m; k++ {
-		t := z[k] / f.ud[k]
-		z[k] = t
-		if t != 0 {
-			for _, e := range f.ur[k] {
-				z[e.k] -= e.val * t
+	if f.ftMode {
+		// Uᵀ forward solve walks the logical order ascending (scatter
+		// targets are logically later), then the transposed FT ops apply
+		// in reverse append order.
+		for k := f.ordHead; k >= 0; k = f.ordNext[k] {
+			t := z[k] / f.ud[k]
+			z[k] = t
+			if t != 0 {
+				for _, e := range f.ur[k] {
+					z[e.k] -= e.val * t
+				}
+				for xi := f.xhead[k]; xi >= 0; xi = f.xpool[xi].next {
+					z[f.xpool[xi].k] -= f.xpool[xi].val * t
+				}
+			}
+		}
+		for i := len(f.ftOps) - 1; i >= 0; i-- {
+			op := &f.ftOps[i]
+			if v := z[op.s]; v != 0 {
+				z[op.j] -= op.val * v
+			}
+		}
+	} else {
+		for k := 0; k < f.m; k++ {
+			t := z[k] / f.ud[k]
+			z[k] = t
+			if t != 0 {
+				for _, e := range f.ur[k] {
+					z[e.k] -= e.val * t
+				}
 			}
 		}
 	}
@@ -1184,7 +1527,278 @@ func (f *luFactor) btranUnit(r int, out []float64) {
 	f.solveBackward(p, out)
 }
 
+// ftDelete removes row k's U entry in column s, whichever store holds it
+// (static row or overflow chain). A miss is a no-op: exact-cancellation
+// drops can leave a column list pointing at an entry that never existed.
+func (f *luFactor) ftDelete(k, s int32) {
+	row := f.ur[k]
+	for i := range row {
+		if row[i].k == s {
+			row[i] = row[len(row)-1]
+			f.ur[k] = row[:len(row)-1]
+			return
+		}
+	}
+	prev := int32(-1)
+	for xi := f.xhead[k]; xi >= 0; xi = f.xpool[xi].next {
+		if f.xpool[xi].k == s {
+			if prev < 0 {
+				f.xhead[k] = f.xpool[xi].next
+			} else {
+				f.xpool[prev].next = f.xpool[xi].next
+			}
+			return
+		}
+		prev = xi
+	}
+}
+
+// ucolDrop removes row k from column j's row list (exact maintenance: the
+// hyper-sparse worklists rely on ucols never naming a row whose logical
+// order is later than the column's, which a stale entry for a moved row
+// would violate).
+func (f *luFactor) ucolDrop(j, k int32) {
+	l := f.ucols[j]
+	for i := range l {
+		if l[i] == k {
+			l[i] = l[len(l)-1]
+			f.ucols[j] = l[:len(l)-1]
+			return
+		}
+	}
+}
+
+// ftUpdate absorbs one pivot into the factorization in place (Forrest–
+// Tomlin): the basis column at position r has been replaced by a column
+// with tableau form w = B⁻¹a (nonzero positions wnz; nil means scan w).
+//
+// With the representation B⁻¹ = P ∘ U⁻¹ ∘ F (F = the appended ftOps after
+// the row gather and L⁻¹ pass), replacing column r of B turns U's column
+// at step s = posStep[r] into the spike v = F(a) = U·w̃, where w̃ is w
+// gathered to step space — computed from w directly so a clone can absorb
+// a pivot without having run the FTRAN itself. Step s then moves to the
+// end of the logical order: every spike entry (k,s) becomes upper
+// triangular for free, while the old row-s entries fall below the
+// diagonal and are eliminated against the rows owning their columns in
+// ascending logical order. Each elimination emits one ftOp (F_new = E∘F);
+// fill lands either at a later column of the working row (handled when
+// popped) or at column s, where it accumulates into the new diagonal.
+// Row s ends a singleton; no other row or column of U moves.
+func (f *luFactor) ftUpdate(r int, w []float64, wnz []int32) {
+	f.ensureFtScratch()
+	s := f.posStep[r]
+
+	mark := f.ftmark
+	cand := f.ftlist[:0]
+	vals := f.ftvals[:0]
+	ns := 0
+	vdiag, maxAbs := 0.0, 0.0
+	if f.stashPtr != nil && len(w) > 0 && &w[0] == f.stashPtr {
+		// The FTRAN that produced w already computed F(a) on the way to
+		// the U back-substitution and stashed it — that IS the spike.
+		spikeK := cand
+		for i, k := range f.stashK {
+			v := f.stashV[i]
+			if k == s {
+				vdiag = v
+				continue
+			}
+			if a := math.Abs(v); a > etaDropTol {
+				if a > maxAbs {
+					maxAbs = a
+				}
+				spikeK = append(spikeK, k)
+				vals = append(vals, v)
+			}
+		}
+		cand = spikeK
+		ns = len(cand)
+	} else {
+		// Spike v = U·w̃: gather w, then evaluate the rows that can see a
+		// nonzero — those whose own rhs entry is set or that hold a U entry
+		// in a nonzero column (ucols is exact, so this set is complete).
+		ftb := f.ftb
+		addCand := func(p int) {
+			v := w[p]
+			if v == 0 {
+				return
+			}
+			k := f.posStep[p]
+			ftb[k] = v
+			if !mark[k] {
+				mark[k] = true
+				cand = append(cand, k)
+			}
+			for _, kk := range f.ucols[k] {
+				if !mark[kk] {
+					mark[kk] = true
+					cand = append(cand, kk)
+				}
+			}
+		}
+		if wnz != nil {
+			for _, p := range wnz {
+				addCand(int(p))
+			}
+		} else {
+			for p := 0; p < f.m; p++ {
+				addCand(p)
+			}
+		}
+		spikeK := cand
+		for _, k := range cand {
+			mark[k] = false
+			v := f.ud[k] * ftb[k]
+			for _, e := range f.ur[k] {
+				v += e.val * ftb[e.k]
+			}
+			for xi := f.xhead[k]; xi >= 0; xi = f.xpool[xi].next {
+				v += f.xpool[xi].val * ftb[f.xpool[xi].k]
+			}
+			if k == s {
+				vdiag = v
+				continue
+			}
+			if a := math.Abs(v); a > etaDropTol {
+				if a > maxAbs {
+					maxAbs = a
+				}
+				spikeK[ns] = k
+				vals = append(vals, v)
+				ns++
+			}
+		}
+		if wnz != nil {
+			for _, p := range wnz {
+				ftb[f.posStep[p]] = 0
+			}
+		} else {
+			for p := 0; p < f.m; p++ {
+				if w[p] != 0 {
+					ftb[f.posStep[p]] = 0
+				}
+			}
+		}
+	}
+	spikeK := cand[:ns]
+	if a := math.Abs(vdiag); a > maxAbs {
+		maxAbs = a
+	}
+	f.stashPtr = nil // the factor is about to change; the stash is spent
+
+	// Drop the old column s from its rows, and capture-and-remove the old
+	// row s: its entries seed the row-spike elimination worklist (ordered
+	// by the columns' logical order), and their column lists drop row s
+	// eagerly so ucols stays exact once s moves to the end.
+	for _, k := range f.ucols[s] {
+		f.ftDelete(k, s)
+	}
+	f.ucols[s] = f.ucols[s][:0]
+	ftw := f.ftw
+	eh := f.ftheap[:0]
+	for _, e := range f.ur[s] {
+		ftw[e.k] = e.val
+		mark[e.k] = true
+		eh = minPush64(eh, f.ftKey(e.k))
+		f.ucolDrop(e.k, s)
+	}
+	for xi := f.xhead[s]; xi >= 0; xi = f.xpool[xi].next {
+		e := f.xpool[xi]
+		ftw[e.k] = e.val
+		mark[e.k] = true
+		eh = minPush64(eh, f.ftKey(e.k))
+		f.ucolDrop(e.k, s)
+	}
+	f.ur[s] = f.ur[s][:0]
+	f.xhead[s] = -1
+
+	// Insert the spike column as overflow entries and rebuild ucols[s].
+	for i, k := range spikeK {
+		f.xpool = append(f.xpool, lux{k: s, next: f.xhead[k], val: vals[i]})
+		f.xhead[k] = int32(len(f.xpool) - 1)
+		f.ucols[s] = append(f.ucols[s], k)
+	}
+
+	// Move step s to the end of the logical order.
+	if f.ordTail != s {
+		p, n := f.ordPrev[s], f.ordNext[s]
+		if p >= 0 {
+			f.ordNext[p] = n
+		} else {
+			f.ordHead = n
+		}
+		if n >= 0 {
+			f.ordPrev[n] = p
+		}
+		f.ordPrev[s] = f.ordTail
+		f.ordNext[f.ordTail] = s
+		f.ordNext[s] = -1
+		f.ordTail = s
+	}
+	f.ord[s] = f.nextOrd
+	f.nextOrd++
+
+	// Eliminate the row spike in ascending logical order, one ftOp per
+	// surviving column. Entries at column s (the spike, inserted above)
+	// accumulate into the new diagonal.
+	d := vdiag
+	opStart := len(f.ftOps)
+	for len(eh) > 0 {
+		var key int64
+		key, eh = minPop64(eh)
+		j := int32(key & 0xffffffff)
+		mark[j] = false
+		rv := ftw[j]
+		ftw[j] = 0
+		if math.Abs(rv) <= luDropTol {
+			continue
+		}
+		mult := rv / f.ud[j]
+		f.ftOps = append(f.ftOps, ftOp{s: s, j: j, val: mult})
+		for _, e := range f.ur[j] {
+			if e.k == s {
+				d -= mult * e.val
+			} else if mark[e.k] {
+				ftw[e.k] -= mult * e.val
+			} else {
+				mark[e.k] = true
+				ftw[e.k] = -mult * e.val
+				eh = minPush64(eh, f.ftKey(e.k))
+			}
+		}
+		for xi := f.xhead[j]; xi >= 0; xi = f.xpool[xi].next {
+			e := f.xpool[xi]
+			if e.k == s {
+				d -= mult * e.val
+			} else if mark[e.k] {
+				ftw[e.k] -= mult * e.val
+			} else {
+				mark[e.k] = true
+				ftw[e.k] = -mult * e.val
+				eh = minPush64(eh, f.ftKey(e.k))
+			}
+		}
+	}
+
+	if a := math.Abs(d); a < luAbsPivotMin || a < etaDriftTol*maxAbs {
+		f.drift = true // ill-conditioned update: refactor before next pivot
+		if d == 0 {
+			d = luAbsPivotMin // keep solves finite until the forced refactorization
+		}
+	}
+	f.ud[s] = d
+	f.nupd++
+	f.ftNnz += ns + (len(f.ftOps) - opStart)
+	f.ftlist = cand[:0]
+	f.ftvals = vals[:0]
+	f.ftheap = eh[:0]
+}
+
 func (f *luFactor) update(r int, w []float64) {
+	if f.ftMode {
+		f.ftUpdate(r, w, nil)
+		return
+	}
 	piv := w[r]
 	maxAbs := math.Abs(piv)
 	start := len(f.etaArena)
@@ -1295,9 +1909,113 @@ func (f *luFactor) ftranColNz(col []entry, out []float64, prev []int32) []int32 
 		}
 	}
 
+	if f.ftMode {
+		// FT row ops on the step-space rhs (z₀[k] ≡ x[permRow[k]]), in
+		// application order; the op file is short (it resets at every
+		// refactorization), so a linear zero-skipping walk beats any
+		// worklist here.
+		for i := range f.ftOps {
+			op := &f.ftOps[i]
+			pv := x[f.permRow[op.j]]
+			if pv != 0 {
+				rr := f.permRow[op.s]
+				if x[rr] == 0 {
+					xt = append(xt, rr)
+				}
+				x[rr] -= op.val * pv
+			}
+		}
+	}
+
 	// U back-substitution, descending over the reachable steps.
 	z := f.szw
 	zt := f.lstB[:0]
+	if f.ftMode {
+		// Descending in *logical* order via the ord-keyed heap; the
+		// degrade sweep follows the order links the same way. The seeding
+		// pass doubles as the spike stash: x here is F(a) in row space,
+		// exactly the spike column an ftUpdate absorbing this column needs.
+		fh := f.ftheap[:0]
+		sk, sv := f.stashK[:0], f.stashV[:0]
+		for _, r := range xt {
+			if x[r] == 0 {
+				continue
+			}
+			if k := f.stepOfRow[r]; !f.smark[k] {
+				f.smark[k] = true
+				fh = maxPush64(fh, f.ftKey(k))
+				sk = append(sk, k)
+				sv = append(sv, x[r])
+			}
+		}
+		f.stashK, f.stashV = sk, sv
+		f.stashPtr = &out[0]
+		ftCut := nzCutoff(f.m)
+		for len(fh) > 0 {
+			if len(fh) > ftCut {
+				// Dense-degrade: substitute every step from the largest
+				// marked one down the logical order. Dependencies always
+				// have later ord, so they are solved before they are read;
+				// mark propagation is pure overhead at this density, so the
+				// sweep just clears marks as it passes.
+				start := int32(fh[0] & 0xffffffff)
+				fh = fh[:0]
+				for k := start; k >= 0; k = f.ordPrev[k] {
+					f.smark[k] = false
+					v := x[f.permRow[k]]
+					for _, e := range f.ur[k] {
+						v -= e.val * z[e.k]
+					}
+					for xi := f.xhead[k]; xi >= 0; xi = f.xpool[xi].next {
+						v -= f.xpool[xi].val * z[f.xpool[xi].k]
+					}
+					if v == 0 {
+						continue
+					}
+					z[k] = v / f.ud[k]
+					zt = append(zt, k)
+				}
+				break
+			}
+			var key int64
+			key, fh = maxPop64(fh)
+			k := int32(key & 0xffffffff)
+			f.smark[k] = false
+			v := x[f.permRow[k]]
+			for _, e := range f.ur[k] {
+				v -= e.val * z[e.k]
+			}
+			for xi := f.xhead[k]; xi >= 0; xi = f.xpool[xi].next {
+				v -= f.xpool[xi].val * z[f.xpool[xi].k]
+			}
+			t := v / f.ud[k]
+			z[k] = t
+			zt = append(zt, k)
+			if t != 0 {
+				for _, c := range f.ucols[k] {
+					if !f.smark[c] {
+						f.smark[c] = true
+						fh = maxPush64(fh, f.ftKey(c))
+					}
+				}
+			}
+		}
+		f.ftheap = fh[:0]
+		for _, r := range xt {
+			x[r] = 0
+		}
+		// Permute to position space; there is no eta file in ftMode.
+		for _, k := range zt {
+			p := f.permPos[k]
+			out[p] = z[k]
+			z[k] = 0
+			f.posMark[p] = true
+			nz = append(nz, p)
+		}
+		f.lstA, f.lstB = xt[:0], zt[:0]
+		f.heapA = oh
+		return nz
+	}
 	sh := f.heapB[:0]
 	for _, r := range xt {
 		if x[r] == 0 {
@@ -1432,6 +2150,117 @@ func (f *luFactor) btranUnitNz(r int, out []float64, prev []int32) []int32 {
 
 	// Gather to elimination order and solve Uᵀ ascending.
 	z := f.szw
+	if f.ftMode {
+		// Ascending in *logical* order via the ord-keyed heap; after the
+		// solve, the transposed FT ops run in reverse append order.
+		fh := f.ftheap[:0]
+		for _, pos := range pnz {
+			f.pmark[pos] = false
+			v := p[pos]
+			p[pos] = 0
+			if v == 0 {
+				continue
+			}
+			k := f.posStep[pos]
+			f.smark[k] = true
+			z[k] = v
+			fh = minPush64(fh, f.ftKey(k))
+		}
+		ztf := f.lstB[:0]
+		ftCut := nzCutoff(f.m)
+		for len(fh) > 0 {
+			if len(fh) > ftCut {
+				start := int32(fh[0] & 0xffffffff)
+				fh = fh[:0]
+				for k := start; k >= 0; k = f.ordNext[k] {
+					if !f.smark[k] {
+						continue
+					}
+					f.smark[k] = false
+					t := z[k] / f.ud[k]
+					z[k] = t
+					ztf = append(ztf, k)
+					if t != 0 {
+						for _, e := range f.ur[k] {
+							f.smark[e.k] = true
+							z[e.k] -= e.val * t
+						}
+						for xi := f.xhead[k]; xi >= 0; xi = f.xpool[xi].next {
+							f.smark[f.xpool[xi].k] = true
+							z[f.xpool[xi].k] -= f.xpool[xi].val * t
+						}
+					}
+				}
+				break
+			}
+			var key int64
+			key, fh = minPop64(fh)
+			k := int32(key & 0xffffffff)
+			f.smark[k] = false
+			t := z[k] / f.ud[k]
+			z[k] = t
+			ztf = append(ztf, k)
+			if t != 0 {
+				for _, e := range f.ur[k] {
+					if !f.smark[e.k] {
+						f.smark[e.k] = true
+						fh = minPush64(fh, f.ftKey(e.k))
+					}
+					z[e.k] -= e.val * t
+				}
+				for xi := f.xhead[k]; xi >= 0; xi = f.xpool[xi].next {
+					c := f.xpool[xi].k
+					if !f.smark[c] {
+						f.smark[c] = true
+						fh = minPush64(fh, f.ftKey(c))
+					}
+					z[c] -= f.xpool[xi].val * t
+				}
+			}
+		}
+		f.ftheap = fh[:0]
+		// Transposed FT ops, newest first. The touched-step list doubles
+		// as the dedupe set (re-marked around the pass).
+		if len(f.ftOps) > 0 {
+			for _, k := range ztf {
+				f.smark[k] = true
+			}
+			for i := len(f.ftOps) - 1; i >= 0; i-- {
+				op := &f.ftOps[i]
+				if v := z[op.s]; v != 0 {
+					if !f.smark[op.j] {
+						f.smark[op.j] = true
+						ztf = append(ztf, op.j)
+					}
+					z[op.j] -= op.val * v
+				}
+			}
+			for _, k := range ztf {
+				f.smark[k] = false
+			}
+		}
+		// Permute to row space and run the reachable transposed L ops.
+		oh := f.heapA[:0]
+		for _, k := range ztf {
+			rr := f.permRow[k]
+			v := z[k]
+			z[k] = 0
+			out[rr] = v
+			f.rmark[rr] = true
+			nz = append(nz, rr)
+			if v != 0 {
+				for _, li := range f.lrIdx[f.lrPtr[rr]:f.lrPtr[rr+1]] {
+					if !f.omark[li] {
+						f.omark[li] = true
+						oh = maxPush32(oh, li)
+					}
+				}
+			}
+		}
+		nz = f.btranLTranspose(out, nz, oh)
+		f.lstA, f.lstB = pnz[:0], ztf[:0]
+		return nz
+	}
 	sh := f.heapB[:0]
 	for _, pos := range pnz {
 		f.pmark[pos] = false
@@ -1505,6 +2334,17 @@ func (f *luFactor) btranUnitNz(r int, out []float64, prev []int32) []int32 {
 			}
 		}
 	}
+	nz = f.btranLTranspose(out, nz, oh)
+	f.lstA, f.lstB = pnz[:0], zt[:0]
+	f.heapB = sh
+	return nz
+}
+
+// btranLTranspose runs the reachable transposed L ops of a hyper-sparse
+// BTRAN (shared by the eta and Forrest–Tomlin paths — the L factor is
+// identical in both). oh is the seeded max-heap worklist; the grown nz
+// list is returned and the heap buffer is retained on the factor.
+func (f *luFactor) btranLTranspose(out []float64, nz []int32, oh []int32) []int32 {
 	opCut := nzCutoff(len(f.lops))
 	for len(oh) > 0 {
 		if len(oh) > opCut {
@@ -1559,9 +2399,7 @@ func (f *luFactor) btranUnitNz(r int, out []float64, prev []int32) []int32 {
 			}
 		}
 	}
-
-	f.lstA, f.lstB = pnz[:0], zt[:0]
-	f.heapA, f.heapB = oh, sh
+	f.heapA = oh
 	return nz
 }
 
@@ -1570,6 +2408,10 @@ func (f *luFactor) btranUnitNz(r int, out []float64, prev []int32) []int32 {
 // the list's order; eta entries only ever feed independent scatter writes
 // and deterministic-order gather sums, so no particular order is required.
 func (f *luFactor) updateNz(r int, w []float64, wnz []int32) {
+	if f.ftMode {
+		f.ftUpdate(r, w, wnz)
+		return
+	}
 	piv := w[r]
 	maxAbs := math.Abs(piv)
 	start := len(f.etaArena)
@@ -1604,9 +2446,15 @@ func (f *luFactor) updateNz(r int, w []float64, wnz []int32) {
 // parent's arena, which the shared flag likewise protects from rewinding
 // (appends past the current length never touch a carved slice — each is
 // capped at its own end). Scratch buffers are never shared.
+//
+// In ftMode the update scheme mutates U in place, so the shared/immutable
+// contract cannot cover it: the mutable set (diagonal, U rows, overflow
+// chains, column lists, logical order, op file) is deep-copied instead,
+// and both sides keep updating their own copy freely. The L factor, the
+// permutations, and the row-transpose stay shared exactly as before.
 func (f *luFactor) clone() factor {
 	f.shared = true
-	return &luFactor{
+	c := &luFactor{
 		m:         f.m,
 		shared:    true,
 		lops:      f.lops,
@@ -1630,4 +2478,42 @@ func (f *luFactor) clone() factor {
 		umark:     make([]bool, f.m),
 		lmark:     make([]bool, len(f.lops)),
 	}
+	if f.ftMode {
+		c.ftMode = true
+		c.ud = append([]float64(nil), f.ud...)
+		total := 0
+		for _, row := range f.ur {
+			total += len(row)
+		}
+		ur := make([][]lue, f.m)
+		arena := make([]lue, 0, total)
+		for k, row := range f.ur {
+			start := len(arena)
+			arena = append(arena, row...)
+			ur[k] = arena[start:len(arena):len(arena)]
+		}
+		c.ur = ur
+		c.xhead = append([]int32(nil), f.xhead...)
+		c.xpool = append([]lux(nil), f.xpool...)
+		total = 0
+		for _, l := range f.ucols {
+			total += len(l)
+		}
+		ucols := make([][]int32, f.m)
+		ua := make([]int32, 0, total)
+		for k, l := range f.ucols {
+			start := len(ua)
+			ua = append(ua, l...)
+			ucols[k] = ua[start:len(ua):len(ua)]
+		}
+		c.ucols = ucols
+		c.ftOps = append([]ftOp(nil), f.ftOps...)
+		c.ftNnz = f.ftNnz
+		c.nupd = f.nupd
+		c.ord = append([]int64(nil), f.ord...)
+		c.ordNext = append([]int32(nil), f.ordNext...)
+		c.ordPrev = append([]int32(nil), f.ordPrev...)
+		c.ordHead, c.ordTail, c.nextOrd = f.ordHead, f.ordTail, f.nextOrd
+	}
+	return c
 }

@@ -253,6 +253,131 @@ func TestLUGrowthTriggersRefactor(t *testing.T) {
 	compareKernels(t, r, lu, dn, m, 1e-8, "post-growth refactor")
 }
 
+// TestNzAPIsEtaModeMatchDense pins the nonzero-list solve and update APIs
+// in product-form (eta) mode — the non-FT fallback a future kernel below
+// the FT gate would rely on. The Nz calls have no size restriction, so a
+// small factor exercises the eta-replay branches of ftranColNz/btranUnitNz
+// and the eta-building body of updateNz directly against the dense-loop
+// answers for the same factor.
+func TestNzAPIsEtaModeMatchDense(t *testing.T) {
+	const m = 40
+	r := rand.New(rand.NewSource(77))
+	std, basis := randSparseBasis(r, m)
+	lu := newFactor(false).(*luFactor)
+	lu.reset(m)
+	if lu.ftMode {
+		t.Fatalf("m=%d must stay in product-form mode", m)
+	}
+	if out := lu.refactorize(std, basis, time.Time{}); out != refactorOK {
+		t.Fatalf("refactorize outcome %v", out)
+	}
+
+	dOut := make([]float64, m)
+	sFtran := make([]float64, m)
+	sBtran := make([]float64, m)
+	var ftranPrev, btranPrev []int32
+	probe := func(tag string) {
+		t.Helper()
+		for k := 0; k < 8; k++ {
+			col := coalesce([]entry{
+				{row: r.Intn(m), val: r.Float64() + 0.2},
+				{row: r.Intn(m), val: r.Float64() - 0.5},
+			})
+			lu.ftranCol(col, dOut)
+			ftranPrev = lu.ftranColNz(col, sFtran, ftranPrev)
+			checkNzAgainstDense(t, dOut, sFtran, ftranPrev, 1e-9, tag+": ftran")
+		}
+		for rr := 0; rr < m; rr++ {
+			lu.btranUnit(rr, dOut)
+			btranPrev = lu.btranUnitNz(rr, sBtran, btranPrev)
+			checkNzAgainstDense(t, dOut, sBtran, btranPrev, 1e-9, tag+": btran")
+		}
+	}
+	probe("fresh")
+
+	// Drive an eta chain through updateNz (the list-fed eta builder) and
+	// keep the Nz solves honest against the dense loops over the same
+	// growing eta file.
+	w := make([]float64, m)
+	var wPrev []int32
+	pivots := 0
+	for piv := 0; piv < 60 && pivots < 12; piv++ {
+		q := r.Intn(m)
+		wPrev = lu.ftranColNz(std.cols[q], w, wPrev)
+		for _, i := range wPrev {
+			if math.Abs(w[i]) > 0.3 {
+				lu.updateNz(int(i), w, wPrev)
+				basis[i] = q
+				pivots++
+				break
+			}
+		}
+	}
+	if len(lu.etas) == 0 {
+		t.Fatal("updateNz built no etas in eta mode")
+	}
+	probe("after updateNz eta chain")
+}
+
+// TestFTFillGrowthTrigger pins the adaptive refactorization policy of the
+// Forrest–Tomlin kernel: wantRefactor fires on measured update fill (spike
+// entries plus absorbed op multipliers) crossing the factor-relative limit,
+// not on any fixed pivot-count cadence — the solver's cadence constant is
+// only a numerical-drift backstop in FT mode. The boundary arithmetic is
+// asserted exactly, then a real update chain is checked to (a) accumulate
+// fill and (b) clear the trigger state on refactorize.
+func TestFTFillGrowthTrigger(t *testing.T) {
+	m := nzVectorMinRows // smallest FT-mode size
+	f := newFactor(false).(*luFactor)
+	f.reset(m)
+	if !f.ftMode {
+		t.Fatalf("m=%d must select FT mode", m)
+	}
+	if f.wantRefactor() {
+		t.Fatal("fresh identity factor must not want a refactorization")
+	}
+	limit := ftGrowthLimit*f.baseNnz + 4*f.m
+	f.ftNnz = limit
+	if f.wantRefactor() {
+		t.Fatal("fill at the limit must not trigger (ceiling is inclusive)")
+	}
+	f.ftNnz = limit + 1
+	if !f.wantRefactor() {
+		t.Fatal("fill beyond the limit must trigger")
+	}
+	f.ftNnz = 0
+
+	// A real pivot accumulates measured fill, and a refactorization resets
+	// both the fill counter and the update age.
+	r := rand.New(rand.NewSource(53))
+	std, basis := bigStaircaseBasis(r, m)
+	if f.refactorize(std, basis, time.Time{}) != refactorOK {
+		t.Fatal("refactorize failed")
+	}
+	w := make([]float64, m)
+	var wPrev []int32
+	for piv := 0; piv < 50 && f.ftNnz == 0; piv++ {
+		q := r.Intn(m)
+		wPrev = f.ftranColNz(std.cols[q], w, wPrev)
+		for _, i := range wPrev {
+			if math.Abs(w[i]) > 0.3 {
+				f.updateNz(int(i), w, wPrev)
+				basis[i] = q
+				break
+			}
+		}
+	}
+	if f.ftNnz == 0 || f.nupd == 0 {
+		t.Fatalf("update chain accumulated no measured fill (ftNnz=%d nupd=%d)", f.ftNnz, f.nupd)
+	}
+	if f.refactorize(std, basis, time.Time{}) != refactorOK {
+		t.Fatal("refactorize of updated basis failed")
+	}
+	if f.ftNnz != 0 || f.age() != 0 || f.wantRefactor() {
+		t.Fatalf("refactorize must reset the fill trigger (ftNnz=%d age=%d)", f.ftNnz, f.age())
+	}
+}
+
 // TestFactorCloneIsolation: clone() must be a deep snapshot for both
 // kernels — updates on the original after cloning (the exact aliasing
 // hazard the old dense capture had) must not leak into the clone, and vice

@@ -268,6 +268,8 @@ type Solution struct {
 	Iterations int
 	// Refactors counts basis refactorizations performed by the solve.
 	Refactors int
+	// Timings is the per-phase wall-clock breakdown of the solve.
+	Timings PhaseTimings
 	// PricingUsed is the entering-variable rule the solve actually ran
 	// with after PricingAuto resolution (PricingDantzig or PricingDevex).
 	PricingUsed PricingRule
@@ -317,6 +319,28 @@ func (s *Solution) Value(terms ...Term) float64 {
 	return v
 }
 
+// PhaseTimings is the per-phase wall-clock breakdown of solver time, in
+// nanoseconds: pricing (entering-column scans and maintained-reduced-cost
+// refreshes), FTRAN (tableau-column solves), BTRAN (dual and row-of-inverse
+// solves), and refactorization (basis rebuilds, including the xB
+// recomputation they force). The four phases do not sum to the solve's wall
+// clock — ratio tests, pivot application, and bookkeeping are uncounted —
+// but a wall-clock regression localizes to whichever counter moved.
+type PhaseTimings struct {
+	PricingNs  int64
+	FtranNs    int64
+	BtranNs    int64
+	RefactorNs int64
+}
+
+// add accumulates o into p.
+func (p *PhaseTimings) add(o PhaseTimings) {
+	p.PricingNs += o.PricingNs
+	p.FtranNs += o.FtranNs
+	p.BtranNs += o.BtranNs
+	p.RefactorNs += o.RefactorNs
+}
+
 // SolveStats accumulates solver telemetry across Solve calls when hung on
 // Options.Stats. It is deliberately plain counters, not a metrics handle:
 // the lp package stays zero-dependency, and callers (core publishes SAM
@@ -347,6 +371,9 @@ type SolveStats struct {
 	// through the dual simplex (attempts that fell back primal are not
 	// counted).
 	DualColdStarts int
+	// Timings accumulates the per-phase wall-clock breakdown across the
+	// recorded solves.
+	Timings PhaseTimings
 }
 
 // Merge adds other's counts into s.
@@ -359,6 +386,7 @@ func (s *SolveStats) Merge(other SolveStats) {
 	s.WarmStarts += other.WarmStarts
 	s.DevexSolves += other.DevexSolves
 	s.DualColdStarts += other.DualColdStarts
+	s.Timings.add(other.Timings)
 }
 
 // record folds one raw simplex outcome into the totals.
@@ -381,6 +409,7 @@ func (s *SolveStats) record(res result) {
 	if res.dualCold {
 		s.DualColdStarts++
 	}
+	s.Timings.add(res.phase)
 }
 
 // PricingRule selects the entering-variable rule of the primal simplex.
@@ -422,10 +451,14 @@ type ColdStrategy string
 const (
 	// ColdAuto lets the solver choose. Today that is always the primal
 	// route (staged start on large LPs, classic artificial-cost phase 1
-	// otherwise): the dual cold start was measured counterproductive at
-	// Paper scale (~137k pivots vs ~29k for staged-primal-with-devex,
-	// at a higher per-pivot cost) because the dual ratio test lacks
-	// bound-flipping long steps, so auto never selects it.
+	// otherwise). The bound-flipping (long-step) dual ratio test brought
+	// the dual cold start's Paper-scale pivot count from ~137k down to
+	// ~34k — within ~10% of the staged-primal-with-devex count — but each
+	// dual pivot still pays a full tableau-row assembly (BTRAN of a unit
+	// row plus a sweep over every touched column's nonzeros) that the
+	// primal loop never needs, leaving it ~2.5× slower end to end (~42 s
+	// vs ~16 s measured on the same box). Auto therefore still selects
+	// primal; revisit if a candidate-list dual pricing loop lands.
 	ColdAuto ColdStrategy = ""
 	// ColdPrimal forces the primal route regardless of model size.
 	ColdPrimal ColdStrategy = "primal"
@@ -552,6 +585,7 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 		Status:      res.status,
 		Iterations:  res.iters,
 		Refactors:   res.refactors,
+		Timings:     res.phase,
 		PricingUsed: res.pricing,
 		DualCold:    res.dualCold,
 		X:           make([]float64, m.NumVars()),

@@ -502,6 +502,7 @@ func (m *Model) solvePresolved(opts Options) (*Solution, error) {
 		Status:      redSol.Status,
 		Iterations:  redSol.Iterations,
 		Refactors:   redSol.Refactors,
+		Timings:     redSol.Timings,
 		PricingUsed: redSol.PricingUsed,
 		DualCold:    redSol.DualCold,
 		X:           make([]float64, nv),

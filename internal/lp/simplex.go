@@ -268,8 +268,9 @@ type result struct {
 	y         []float64 // per row (duals of the minimization problem)
 	d         []float64 // reduced costs per standardized column
 	iters     int
-	refactors int         // basis refactorizations performed
-	warm      bool        // a supplied warm basis was actually used
+	refactors int          // basis refactorizations performed
+	phase     PhaseTimings // per-phase wall-clock breakdown
+	warm      bool         // a supplied warm basis was actually used
 	pricing   PricingRule // entering rule the final phase ran with
 	dualCold  bool        // primal feasibility came from the dual cold start
 	basis     *Basis      // terminal basis (Optimal and Infeasible outcomes)
@@ -323,6 +324,14 @@ type state struct {
 	dRed []float64
 	dvxW []float64
 
+	// Partial devex state (wide models only, see devexPartialMinCols).
+	// dvxCand is the candidate subset collected by the last full sweep,
+	// dvxSweep counts down the pivots left before the next full sweep,
+	// and dvxSweeps tallies full sweeps for telemetry and tests.
+	dvxCand   []int32
+	dvxSweep  int
+	dvxSweeps int
+
 	// Row-wise copy of the standardized matrix (CSR over constraint rows),
 	// built lazily for the devex and dual-cold paths: the pivot row
 	// alpha = rho·A is assembled by scattering each nonzero row of rho
@@ -338,6 +347,70 @@ type state struct {
 
 	// dualW holds the dual devex reference weights, per basis row.
 	dualW []float64
+
+	// Bound-flipping dual ratio test scratch: dbpR/dbpJ are the breakpoint
+	// min-heap (ratio-ordered, column index as tie-break), dflip collects
+	// the boxed columns flipped by a long step, and flipRhs/flipOut carry
+	// the combined flipped-column FTRAN that moves xB past them.
+	dbpR     []float64
+	dbpJ     []int32
+	dflip    []int32
+	flipRhs  []float64
+	flipOut  []float64
+	flipRows []int32
+	flipEnt  []entry
+	flipNz   []int32
+	// dualFlips tallies bound flips taken by long dual steps (telemetry).
+	dualFlips int
+	// phase accumulates the per-phase wall-clock breakdown. Each leaf
+	// operation (pricing scan, FTRAN, BTRAN, refactorization) stamps its
+	// own elapsed time, so nested calls never double-count: dRedRefresh's
+	// BTRAN lands in btran, only its maintenance sweep lands in pricing.
+	phase PhaseTimings
+}
+
+// dbpPush/dbpPop maintain the breakpoint min-heap over the parallel
+// (ratio, column) arrays: ascending ratio, column index breaking ties, so
+// the walk order — and with it the whole dual trajectory — is
+// deterministic regardless of collection order.
+func dbpPush(r []float64, j []int32, ratio float64, col int32) ([]float64, []int32) {
+	r = append(r, ratio)
+	j = append(j, col)
+	i := len(r) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if r[p] < r[i] || (r[p] == r[i] && j[p] <= j[i]) {
+			break
+		}
+		r[p], r[i] = r[i], r[p]
+		j[p], j[i] = j[i], j[p]
+		i = p
+	}
+	return r, j
+}
+
+func dbpPop(r []float64, j []int32) (float64, int32, []float64, []int32) {
+	ratio, col := r[0], j[0]
+	n := len(r) - 1
+	r[0], j[0] = r[n], j[n]
+	r, j = r[:n], j[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && (r[c+1] < r[c] || (r[c+1] == r[c] && j[c+1] < j[c])) {
+			c++
+		}
+		if r[i] < r[c] || (r[i] == r[c] && j[i] <= j[c]) {
+			break
+		}
+		r[i], r[c] = r[c], r[i]
+		j[i], j[c] = j[c], j[i]
+		i = c
+	}
+	return ratio, col, r, j
 }
 
 // timedOut reports whether the wall-clock budget has expired. The check
@@ -348,9 +421,19 @@ func (st *state) timedOut() bool {
 
 const defaultRefactorEvery = 512
 
-// nzRefactorEvery replaces the default cadence on hyper-sparse models (the
-// caller can still force any cadence through Options.RefactorEvery).
+// nzRefactorEvery replaces the default cadence on hyper-sparse models that
+// still run the product-form eta file (the caller can force any cadence
+// through Options.RefactorEvery): there every BTRAN/FTRAN walks the whole
+// file, so a short fixed cadence is the better trade.
 const nzRefactorEvery = 256
+
+// ftRefactorBackstop is the cadence on Forrest–Tomlin kernels. FT updates
+// keep the factorization triangular, so the *measured* update-fill growth
+// trigger in the kernel (wantRefactor: ftNnz against a multiple of the
+// fresh factorization's nonzeros) decides when refactorizing pays; the
+// cadence survives only as a long numerical-hygiene backstop against
+// roundoff accumulating over very long, low-fill pivot chains.
+const ftRefactorBackstop = 2048
 
 // solve runs phase 1 then phase 2 and extracts primal and dual values.
 // With a usable Options.WarmBasis, phase 1 is skipped entirely and phase 2
@@ -376,14 +459,17 @@ func (std *standard) solve(opts Options) result {
 		st.deadline = time.Now().Add(opts.TimeBudget)
 	}
 	st.useNz = m >= nzVectorMinRows
-	if st.useNz && st.refactorEvery == defaultRefactorEvery {
-		// At hyper-sparse scale the product-form eta file, not the
-		// refactorization, is the dominant per-pivot cost (every BTRAN/FTRAN
-		// walks the whole file), and singleton peeling makes refactorization
-		// cheap; a much shorter cadence is the better trade.
-		st.refactorEvery = nzRefactorEvery
-	}
 	st.fac.reset(m)
+	if st.useNz && st.refactorEvery == defaultRefactorEvery {
+		if lu, ok := st.fac.(*luFactor); ok && lu.ftMode {
+			// Forrest–Tomlin kernel: the fill-growth trigger inside
+			// wantRefactor adapts the cadence to the measured update fill;
+			// the fixed cadence is only a numerical backstop.
+			st.refactorEvery = ftRefactorBackstop
+		} else {
+			st.refactorEvery = nzRefactorEvery
+		}
+	}
 	// The staged start may swap a perturbed right-hand side into the cached
 	// standardization (and the dual cold start a perturbed c); whatever path
 	// the solve exits through, the pristine slices go back so later solves
@@ -437,22 +523,22 @@ func (std *standard) solve(opts Options) result {
 		st.coldInit()
 
 		// Cold-start strategy. The dual route (dual simplex from the slack
-		// basis, perturbed costs) replaces both primal phases when it
-		// succeeds, but it is explicit-only: auto never selects it. Measured
-		// at Paper scale (m=9104, n=33582) the dual loop needs ~137k pivots
-		// — 4.7× the staged-primal-with-devex count — because without a
-		// bound-flipping (long-step) dual ratio test each pivot retires one
-		// bound violation at a time, and each pivot also pays a denser
-		// BTRAN/FTRAN pair. Until long steps land, forcing dual would
-		// regress every large cold solve. Any dual failure falls through to
-		// the primal routes, which remain authoritative for infeasibility.
+		// basis, perturbed costs, bound-flipping long steps) replaces both
+		// primal phases when it succeeds, but it is explicit-only: auto
+		// never selects it. With the long-step ratio test the dual loop
+		// reaches optimality at Paper scale in ~34k pivots (down from
+		// ~137k single-breakpoint), but each pivot still assembles a full
+		// tableau row, which keeps it ~2.5× the primal route's wall clock
+		// — see the ColdAuto doc comment for the measured numbers. Any
+		// dual failure falls through to the primal routes, which remain
+		// authoritative for infeasibility.
 		if opts.ColdStrategy == ColdDual {
 			switch st.dualColdStart() {
 			case stagedDone:
 				dualCold = true
 				st.restoreC()
 			case stagedTimeout:
-				return result{status: TimeLimit, iters: st.iters, refactors: st.refactors, pricing: st.pricing}
+				return result{status: TimeLimit, iters: st.iters, refactors: st.refactors, phase: st.phase, pricing: st.pricing}
 			case stagedFallback:
 				st.restoreC()
 				st.coldInit()
@@ -470,7 +556,7 @@ func (std *standard) solve(opts Options) result {
 			case stagedDone:
 				staged = true
 			case stagedTimeout:
-				return result{status: TimeLimit, iters: st.iters, refactors: st.refactors, pricing: st.pricing}
+				return result{status: TimeLimit, iters: st.iters, refactors: st.refactors, phase: st.phase, pricing: st.pricing}
 			case stagedFallback:
 				st.restoreB()
 				st.coldInit()
@@ -489,7 +575,7 @@ func (std *standard) solve(opts Options) result {
 			if needPhase1 {
 				status := st.optimize(c1, false)
 				if status == IterLimit || status == TimeLimit {
-					return result{status: status, iters: st.iters, refactors: st.refactors, pricing: st.pricing}
+					return result{status: status, iters: st.iters, refactors: st.refactors, phase: st.phase, pricing: st.pricing}
 				}
 				infeas := 0.0
 				for i, j := range st.basis {
@@ -498,7 +584,7 @@ func (std *standard) solve(opts Options) result {
 					}
 				}
 				if infeas > 1e-7 {
-					return result{status: Infeasible, iters: st.iters, refactors: st.refactors, pricing: st.pricing, basis: st.capture()}
+					return result{status: Infeasible, iters: st.iters, refactors: st.refactors, phase: st.phase, pricing: st.pricing, basis: st.capture()}
 				}
 				st.expelArtificials()
 			}
@@ -511,7 +597,7 @@ func (std *standard) solve(opts Options) result {
 	// perturbation's width, so only a handful of pivots remain.
 	status := st.optimize(std.c, true)
 	res := result{status: status, iters: st.iters, refactors: st.refactors,
-		warm: warm, pricing: st.pricing, dualCold: dualCold}
+		phase: st.phase, warm: warm, pricing: st.pricing, dualCold: dualCold}
 	if status != Optimal {
 		return res
 	}
@@ -701,10 +787,12 @@ func (st *state) stagedStart() stagedOutcome {
 
 // duals computes y = c_B·B⁻¹ via BTRAN into the reusable scratch buffer.
 func (st *state) duals(costs []float64) []float64 {
+	t0 := time.Now()
 	for i, j := range st.basis {
 		st.cbBuf[i] = costs[j]
 	}
 	st.fac.btran(st.cbBuf, st.yBuf)
+	st.phase.BtranNs += int64(time.Since(t0))
 	return st.yBuf
 }
 
@@ -712,11 +800,13 @@ func (st *state) duals(costs []float64) []float64 {
 // (valid until the next rowOfInverse call; wBuf is independent, so a
 // tableau column and a rho row can coexist).
 func (st *state) rowOfInverse(r int) []float64 {
+	t0 := time.Now()
 	if st.useNz {
 		st.rhoNz = st.fac.btranUnitNz(r, st.rhoBuf, st.rhoNz)
-		return st.rhoBuf
+	} else {
+		st.fac.btranUnit(r, st.rhoBuf)
 	}
-	st.fac.btranUnit(r, st.rhoBuf)
+	st.phase.BtranNs += int64(time.Since(t0))
 	return st.rhoBuf
 }
 
@@ -769,11 +859,13 @@ const nzVectorMinRows = 4096
 // per-pivot cost and buys nothing: ratio-test ties and eta summation order
 // only have to be reproducible, not ascending).
 func (st *state) ftranCol(q int) []float64 {
+	t0 := time.Now()
 	if st.useNz {
 		st.wNz = st.fac.ftranColNz(st.std.cols[q], st.wBuf, st.wNz)
-		return st.wBuf
+	} else {
+		st.fac.ftranCol(st.std.cols[q], st.wBuf)
 	}
-	st.fac.ftranCol(st.std.cols[q], st.wBuf)
+	st.phase.FtranNs += int64(time.Since(t0))
 	return st.wBuf
 }
 
@@ -797,10 +889,12 @@ func (st *state) applyPivot(q, r int, w []float64) {
 // stale; callers must abort the pivot loop.
 func (st *state) refactor() refactorOutcome {
 	st.refactors++
+	t0 := time.Now()
 	out := st.fac.refactorize(st.std, st.basis, st.deadline)
 	if out == refactorOK {
 		st.recomputeXB()
 	}
+	st.phase.RefactorNs += int64(time.Since(t0))
 	return out
 }
 
@@ -852,6 +946,8 @@ func (st *state) violation(j int, d float64) (viol float64, fromUpper bool) {
 // certificate the full Dantzig scan gives, at a fraction of the
 // per-iteration cost on wide LPs.
 func (st *state) pricePartial(costs, y []float64, skipArt bool) (q int, fromUpper bool, qD float64) {
+	t0 := time.Now()
+	defer func() { st.phase.PricingNs += int64(time.Since(t0)) }()
 	std := st.std
 	kept := st.cand[:0]
 	q = -1
@@ -929,6 +1025,8 @@ const partialPricingMinCols = 512
 
 // priceDantzig is the classic full scan: the most violated column enters.
 func (st *state) priceDantzig(costs, y []float64, skipArt bool) (q int, fromUpper bool, qD float64) {
+	t0 := time.Now()
+	defer func() { st.phase.PricingNs += int64(time.Since(t0)) }()
 	std := st.std
 	q = -1
 	var qViol float64
@@ -948,6 +1046,8 @@ func (st *state) priceDantzig(costs, y []float64, skipArt bool) (q int, fromUppe
 // priceBland is the anti-cycling fallback: the lowest-index violated
 // column enters (Bland's rule), scanning every column.
 func (st *state) priceBland(costs, y []float64, skipArt bool) (q int, fromUpper bool, qD float64) {
+	t0 := time.Now()
+	defer func() { st.phase.PricingNs += int64(time.Since(t0)) }()
 	std := st.std
 	for j := 0; j < std.n; j++ {
 		if st.basePos[j] != 0 || (skipArt && std.art[j]) {
@@ -1075,6 +1175,7 @@ func (st *state) dRedRefresh(costs []float64) {
 		}
 	}
 	y := st.duals(costs)
+	t0 := time.Now()
 	for j := 0; j < std.n; j++ {
 		if st.basePos[j] != 0 {
 			st.dRed[j] = 0
@@ -1082,6 +1183,10 @@ func (st *state) dRedRefresh(costs []float64) {
 		}
 		st.dRed[j] = st.reducedCost(costs, y, j)
 	}
+	// The refresh moved every maintained value; a stale candidate subset
+	// would price against the old snapshot, so force a full sweep.
+	st.dvxSweep = 0
+	st.phase.PricingNs += int64(time.Since(t0))
 }
 
 // devexReset refreshes the maintained reduced costs AND restarts the devex
@@ -1094,11 +1199,42 @@ func (st *state) devexReset(costs []float64) {
 	}
 }
 
+// devexPartialMinCols gates partial devex pricing: below this column count
+// the full scan is cheap next to the basis update and its strictly better
+// entering choices win (and the small-model pivot sequences are pinned by
+// the golden-trace suite); above it the O(n) scan dominates the pivot and
+// the rotating candidate subset pays. A var so tests can force either mode.
+var devexPartialMinCols = 1 << 15
+
+const (
+	// dvxSweepEvery is the number of partial picks served off one
+	// candidate sweep before the next full scan rebuilds the subset.
+	dvxSweepEvery = 16
+	// dvxCandCap bounds the candidate subset collected by a full sweep.
+	dvxCandCap = 1024
+	// dvxCandFrac sets the admission threshold: a sweep keeps columns
+	// scoring within best/dvxCandFrac of the sweep winner.
+	dvxCandFrac = 1024.0
+)
+
 // priceDevex picks the entering column maximizing violation²/weight over
 // the maintained reduced costs — the devex approximation of the steepest-
-// edge criterion. It is a plain O(n) array scan: no dot products, because
-// dRed is maintained incrementally by the pivot loop.
+// edge criterion. Narrow models run the plain O(n) scan every pivot; wide
+// ones scan a candidate subset refreshed by periodic full sweeps.
 func (st *state) priceDevex(skipArt bool) (q int, fromUpper bool, qD float64) {
+	t0 := time.Now()
+	if len(st.dRed) >= devexPartialMinCols {
+		q, fromUpper, qD = st.priceDevexPartial(skipArt)
+	} else {
+		q, fromUpper, qD, _ = st.priceDevexFull(skipArt)
+	}
+	st.phase.PricingNs += int64(time.Since(t0))
+	return q, fromUpper, qD
+}
+
+// priceDevexFull is the full devex scan; it also reports the winning score
+// so a collecting sweep can derive its admission threshold.
+func (st *state) priceDevexFull(skipArt bool) (q int, fromUpper bool, qD, best float64) {
 	std := st.std
 	q = -1
 	tol := st.tol
@@ -1113,7 +1249,6 @@ func (st *state) priceDevex(skipArt bool) (q int, fromUpper bool, qD float64) {
 	// the trajectory on the paper-scale models.
 	dRed, dvxW := st.dRed, st.dvxW
 	atUpper, basePos, art := st.atUpper, st.basePos, std.art
-	best := 0.0
 	for j, d := range dRed {
 		var viol float64
 		var fu bool
@@ -1134,12 +1269,109 @@ func (st *state) priceDevex(skipArt bool) (q int, fromUpper bool, qD float64) {
 			best, q, fromUpper, qD = score, j, fu, d
 		}
 	}
+	return q, fromUpper, qD, best
+}
+
+// priceDevexPartial serves entering picks off the candidate subset and
+// falls back to a collecting full sweep when the budget expires or the
+// subset stalls (drains to no violating member). The sweep itself returns
+// the exact full-scan winner — identical tie-break trajectory — so partial
+// pricing can only ever defer, never change, a full scan's choice.
+func (st *state) priceDevexPartial(skipArt bool) (q int, fromUpper bool, qD float64) {
+	if st.dvxSweep > 0 {
+		st.dvxSweep--
+		if q, fromUpper, qD = st.priceDevexCand(skipArt); q >= 0 {
+			return q, fromUpper, qD
+		}
+	}
+	return st.priceDevexSweep(skipArt)
+}
+
+// priceDevexCand scans only the candidate subset, compacting out members
+// that went basic or are no longer violating under the maintained reduced
+// costs (the subset is rebuilt within dvxSweepEvery pivots regardless).
+func (st *state) priceDevexCand(skipArt bool) (q int, fromUpper bool, qD float64) {
+	std := st.std
+	q = -1
+	tol := st.tol
+	dRed, dvxW := st.dRed, st.dvxW
+	atUpper, basePos, art := st.atUpper, st.basePos, std.art
+	kept := st.dvxCand[:0]
+	best := 0.0
+	for _, jj := range st.dvxCand {
+		j := int(jj)
+		d := dRed[j]
+		var viol float64
+		var fu bool
+		if d < -tol {
+			if atUpper[j] {
+				continue
+			}
+			viol = -d
+		} else if d > tol && atUpper[j] {
+			viol, fu = d, true
+		} else {
+			continue
+		}
+		if basePos[j] != 0 || (skipArt && art[j]) {
+			continue
+		}
+		kept = append(kept, jj)
+		if score := viol * viol / dvxW[j]; score > best {
+			best, q, fromUpper, qD = score, j, fu, d
+		}
+	}
+	st.dvxCand = kept
+	return q, fromUpper, qD
+}
+
+// priceDevexSweep runs the full scan, then a second pass collecting every
+// column scoring within best/dvxCandFrac of the winner (up to dvxCandCap,
+// in column order) as the next candidate subset.
+func (st *state) priceDevexSweep(skipArt bool) (q int, fromUpper bool, qD float64) {
+	st.dvxSweeps++
+	st.dvxSweep = dvxSweepEvery
+	var best float64
+	q, fromUpper, qD, best = st.priceDevexFull(skipArt)
+	st.dvxCand = st.dvxCand[:0]
+	if q < 0 {
+		return q, fromUpper, qD
+	}
+	std := st.std
+	tol := st.tol
+	thr := best / dvxCandFrac
+	dRed, dvxW := st.dRed, st.dvxW
+	atUpper, basePos, art := st.atUpper, st.basePos, std.art
+	for j, d := range dRed {
+		var viol float64
+		if d < -tol {
+			if atUpper[j] {
+				continue
+			}
+			viol = -d
+		} else if d > tol && atUpper[j] {
+			viol = d
+		} else {
+			continue
+		}
+		if basePos[j] != 0 || (skipArt && art[j]) {
+			continue
+		}
+		if viol*viol/dvxW[j] >= thr {
+			st.dvxCand = append(st.dvxCand, int32(j))
+			if len(st.dvxCand) == dvxCandCap {
+				break
+			}
+		}
+	}
 	return q, fromUpper, qD
 }
 
 // priceBlandMaintained is Bland's rule over the maintained reduced costs
 // (devex mode has no incrementally maintained duals to recompute from).
 func (st *state) priceBlandMaintained(skipArt bool) (q int, fromUpper bool, qD float64) {
+	t0 := time.Now()
+	defer func() { st.phase.PricingNs += int64(time.Since(t0)) }()
 	std := st.std
 	for j := 0; j < std.n; j++ {
 		if st.basePos[j] != 0 || (skipArt && std.art[j]) {
@@ -1448,14 +1680,21 @@ func (st *state) dualColdStart() stagedOutcome {
 			return stagedDone
 		}
 
-		// Dual ratio test over row r of the tableau, assembled sparsely from
-		// the row of the inverse (alphaBuf is exactly zero off alphaNz, so
-		// only touched columns can be eligible). Same eligibility and
-		// smallest-|d|/|α| rule as dualCleanup; the cost perturbation breaks
-		// the massive SAM ties that would otherwise stall the dual steps.
+		// Bound-flipping (long-step) dual ratio test over row r of the
+		// tableau, assembled sparsely from the row of the inverse (alphaBuf
+		// is exactly zero off alphaNz, so only touched columns can be
+		// eligible). Eligibility matches dualCleanup; the breakpoints —
+		// ratios |d_j|/|α_j| at which each eligible column's reduced cost
+		// would cross zero — go on a min-heap, and the walk passes a
+		// breakpoint whenever its column is boxed and flipping it to the
+		// other bound leaves the leaving row still infeasible (the dual
+		// objective's slope along the step stays positive). Each flip
+		// retires a bound violation without a pivot; the entering column is
+		// the breakpoint where the slope would die. The cost perturbation
+		// breaks the massive SAM ties that would otherwise stall the steps.
 		rho := st.rowOfInverse(r)
 		st.pivotRow(rho)
-		q, bestRatio := -1, math.Inf(1)
+		bpR, bpJ := st.dbpR[:0], st.dbpJ[:0]
 		for _, jj := range st.alphaNz {
 			j := int(jj)
 			if st.basePos[j] != 0 || std.art[j] {
@@ -1473,16 +1712,89 @@ func (st *state) dualColdStart() stagedOutcome {
 			if !ok {
 				continue
 			}
-			if ratio := math.Abs(st.dRed[j]) / math.Abs(alpha); ratio < bestRatio ||
-				(ratio == bestRatio && q >= 0 && j < q) {
-				q, bestRatio = j, ratio
-			}
+			bpR, bpJ = dbpPush(bpR, bpJ, math.Abs(st.dRed[j])/math.Abs(alpha), jj)
 		}
+		slope := -st.xB[r]
+		if !below {
+			slope = st.xB[r] - st.effUpper(st.basis[r])
+		}
+		q := -1
+		flips := st.dflip[:0]
+		for len(bpR) > 0 {
+			var jj int32
+			_, jj, bpR, bpJ = dbpPop(bpR, bpJ)
+			j := int(jj)
+			span := std.up[j]
+			if !math.IsInf(span, 1) {
+				if remain := slope - span*math.Abs(st.alphaBuf[j]); remain > 0 {
+					slope = remain
+					flips = append(flips, jj)
+					continue
+				}
+			}
+			q = j
+			break
+		}
+		st.dbpR, st.dbpJ = bpR[:0], bpJ[:0]
+		st.dflip = flips
 		if q < 0 {
-			// Dual unbounded up to tolerance: primal infeasible for the
-			// perturbed problem. The perturbation is far below any model
-			// data, but infeasibility verdicts belong to the primal phase 1.
+			// Dual unbounded up to tolerance (even after exhausting every
+			// boxed breakpoint): primal infeasible for the perturbed
+			// problem. The perturbation is far below any model data, but
+			// infeasibility verdicts belong to the primal phase 1.
 			return stagedFallback
+		}
+		if len(flips) > 0 {
+			// Flip the passed boxed columns in one batch: move each to its
+			// other bound and push the combined column movement through one
+			// FTRAN (xB -= B⁻¹·Σ±u_j·a_j). xB[r] lands closer to its bound
+			// by exactly the slope already consumed, so the entering step
+			// below shortens accordingly. The combined movement is sparse
+			// (a handful of short columns), so in hyper-sparse mode it goes
+			// through ftranColNz instead of a dense triangular solve.
+			if st.flipRhs == nil {
+				st.flipRhs = make([]float64, m)
+				st.flipOut = make([]float64, m)
+			}
+			rows := st.flipRows[:0]
+			for _, jj := range flips {
+				j := int(jj)
+				u := std.up[j]
+				if st.atUpper[j] {
+					u = -u
+				}
+				for _, e := range std.cols[j] {
+					if st.flipRhs[e.row] == 0 {
+						rows = append(rows, int32(e.row))
+					}
+					st.flipRhs[e.row] += u * e.val
+				}
+				st.atUpper[j] = !st.atUpper[j]
+			}
+			st.dualFlips += len(flips)
+			if st.useNz {
+				ent := st.flipEnt[:0]
+				for _, i := range rows {
+					// Exact cancellations drop out here; a row re-appended
+					// after cancelling contributes nothing the second time.
+					if v := st.flipRhs[i]; v != 0 {
+						ent = append(ent, entry{row: int(i), val: v})
+					}
+					st.flipRhs[i] = 0
+				}
+				st.flipEnt = ent
+				st.flipNz = st.fac.ftranColNz(ent, st.flipOut, st.flipNz)
+				for _, i := range st.flipNz {
+					st.xB[i] -= st.flipOut[i]
+				}
+			} else {
+				st.fac.ftranDense(st.flipRhs, st.flipOut)
+				for i := 0; i < m; i++ {
+					st.xB[i] -= st.flipOut[i]
+					st.flipRhs[i] = 0
+				}
+			}
+			st.flipRows = rows[:0]
 		}
 
 		w := st.ftranCol(q)

@@ -50,6 +50,38 @@ func TestSolveStatsAccumulates(t *testing.T) {
 	}
 }
 
+func TestSolveStatsPhaseTimings(t *testing.T) {
+	// The per-phase clocks must tick on a solve that pivots: pricing runs
+	// every pivot and FTRAN computes every tableau column, so both are
+	// guaranteed nonzero; BTRAN ticks with the per-pivot duals. The
+	// timings must also land on the Solution itself and match the stats
+	// of a single recorded solve.
+	m, _, _ := statsModel()
+	var stats SolveStats
+	sol, err := m.Solve(Options{Stats: &stats})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve: %v %v", sol.Status, err)
+	}
+	if sol.Iterations == 0 {
+		t.Fatalf("statsModel solved without a pivot; the timing assertions need one")
+	}
+	if sol.Timings.PricingNs <= 0 || sol.Timings.FtranNs <= 0 || sol.Timings.BtranNs <= 0 {
+		t.Fatalf("phase timings did not tick: %+v", sol.Timings)
+	}
+	if stats.Timings != sol.Timings {
+		t.Fatalf("stats timings %+v != solution timings %+v", stats.Timings, sol.Timings)
+	}
+	// A forced refactorization cadence must tick the refactor clock.
+	var tight SolveStats
+	if _, err := m.Solve(Options{RefactorEvery: 1, Stats: &tight}); err != nil {
+		t.Fatalf("tight-cadence solve: %v", err)
+	}
+	if tight.Refactorizations >= 1 && tight.Timings.RefactorNs <= 0 {
+		t.Fatalf("refactor clock did not tick across %d refactorizations: %+v",
+			tight.Refactorizations, tight.Timings)
+	}
+}
+
 func TestSolveStatsWarmStart(t *testing.T) {
 	m, _, _ := statsModel()
 	sol, err := m.Solve(Options{})
@@ -83,10 +115,13 @@ func TestSolveStatsIterLimit(t *testing.T) {
 }
 
 func TestSolveStatsMerge(t *testing.T) {
-	a := SolveStats{Solves: 1, Iterations: 10, Refactorizations: 2, TimeBudgetHits: 1, IterLimitHits: 1, WarmStarts: 1}
-	b := SolveStats{Solves: 2, Iterations: 5, Refactorizations: 1, WarmStarts: 1}
+	a := SolveStats{Solves: 1, Iterations: 10, Refactorizations: 2, TimeBudgetHits: 1, IterLimitHits: 1, WarmStarts: 1,
+		Timings: PhaseTimings{PricingNs: 100, FtranNs: 10, BtranNs: 1, RefactorNs: 1000}}
+	b := SolveStats{Solves: 2, Iterations: 5, Refactorizations: 1, WarmStarts: 1,
+		Timings: PhaseTimings{PricingNs: 1, FtranNs: 2, BtranNs: 3, RefactorNs: 4}}
 	b.Merge(a)
-	want := SolveStats{Solves: 3, Iterations: 15, Refactorizations: 3, TimeBudgetHits: 1, IterLimitHits: 1, WarmStarts: 2}
+	want := SolveStats{Solves: 3, Iterations: 15, Refactorizations: 3, TimeBudgetHits: 1, IterLimitHits: 1, WarmStarts: 2,
+		Timings: PhaseTimings{PricingNs: 101, FtranNs: 12, BtranNs: 4, RefactorNs: 1004}}
 	if b != want {
 		t.Fatalf("merged = %+v, want %+v", b, want)
 	}

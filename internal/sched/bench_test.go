@@ -132,6 +132,16 @@ func benchInstance(sc benchScale, seed int64) *Instance {
 	}
 }
 
+// reportPhases publishes the last solve's per-phase wall-clock breakdown as
+// bench metrics, so BENCH_solver.json localizes a ns/op regression to the
+// solver phase that moved (pricing scan, FTRAN, BTRAN, or refactorization).
+func reportPhases(b *testing.B, p lp.PhaseTimings) {
+	b.ReportMetric(float64(p.PricingNs), "pricing_ns")
+	b.ReportMetric(float64(p.FtranNs), "ftran_ns")
+	b.ReportMetric(float64(p.BtranNs), "btran_ns")
+	b.ReportMetric(float64(p.RefactorNs), "refactor_ns")
+}
+
 // BenchmarkSAMSolve measures Instance.Solve (model build + LP solve, the
 // per-timestep SAM cost) across scales on both basis kernels. The sparse
 // sub-benchmarks are the production path; the dense ones are the reference
@@ -153,6 +163,7 @@ func BenchmarkSAMSolve(b *testing.B) {
 			}
 			b.Run(fmt.Sprintf("%s/%s", sc.name, kernel.name), func(b *testing.B) {
 				iters, refactors := 0, 0
+				var phase lp.PhaseTimings
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					res, err := ins.Solve(lp.Options{DenseKernel: kernel.dense, Presolve: sc.paper})
@@ -164,9 +175,11 @@ func BenchmarkSAMSolve(b *testing.B) {
 					}
 					iters = res.Iterations
 					refactors = res.Refactors
+					phase = res.Timings
 				}
 				b.ReportMetric(float64(iters), "pivots")
 				b.ReportMetric(float64(refactors), "refactors")
+				reportPhases(b, phase)
 			})
 			if kernel.dense || sc.paper {
 				// The telemetry-overhead sub-bench exists to bound the
@@ -223,6 +236,7 @@ func BenchmarkSAMResolveWarm(b *testing.B) {
 				}
 				basis := cold.Basis
 				iters, refactors := 0, 0
+				var phase lp.PhaseTimings
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					res, err := built.Solve(lp.Options{DenseKernel: kernel.dense, Presolve: sc.paper, WarmBasis: basis})
@@ -235,9 +249,11 @@ func BenchmarkSAMResolveWarm(b *testing.B) {
 					basis = res.Basis
 					iters = res.Iterations
 					refactors = res.Refactors
+					phase = res.Timings
 				}
 				b.ReportMetric(float64(iters), "pivots")
 				b.ReportMetric(float64(refactors), "refactors")
+				reportPhases(b, phase)
 			})
 		}
 	}

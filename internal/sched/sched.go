@@ -148,6 +148,9 @@ type Result struct {
 	Iterations int
 	// Refactors counts basis refactorizations performed by the solve.
 	Refactors int
+	// Timings is the solver's per-phase wall-clock breakdown (pricing/
+	// FTRAN/BTRAN/refactorization nanoseconds).
+	Timings lp.PhaseTimings
 	// PricingUsed is the entering-variable rule the solver resolved to
 	// (lp.PricingDantzig or lp.PricingDevex; see lp.Options.Pricing).
 	PricingUsed lp.PricingRule
@@ -686,6 +689,7 @@ func (b *Built) Solve(opts lp.Options) (*Result, error) {
 		Status:      sol.Status,
 		Iterations:  sol.Iterations,
 		Refactors:   sol.Refactors,
+		Timings:     sol.Timings,
 		PricingUsed: sol.PricingUsed,
 		DualCold:    sol.DualCold,
 		Suspect:     sol.Suspect,
