@@ -19,8 +19,11 @@ check:
 # micro-benchmarks with a machine-readable report in BENCH_admission.json
 # (regression gate for the quote-engine fast path), then the SAM solver
 # benchmarks (sparse LU vs dense reference kernel) into BENCH_solver.json
-# (the perf trajectory of the simplex core across PRs), and finally a
-# small instrumented run whose metrics snapshot (BENCH_metrics.json)
+# (the perf trajectory of the simplex core across PRs), then the
+# admission-service micro-benchmarks plus a closed-loop loadgen run into
+# BENCH_service.json — gated at the dev-box acceptance floor of 1M
+# quote-or-admit ops/sec and the measured alloc footprints — and finally
+# a small instrumented run whose metrics snapshot (BENCH_metrics.json)
 # tracks the control loop's operational counters across PRs.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -28,4 +31,10 @@ bench:
 		$(GO) run ./cmd/benchjson -out BENCH_admission.json
 	$(GO) test -run '^$$' -bench 'SAMSolve|SAMResolveWarm' -benchmem ./internal/sched | \
 		$(GO) run ./cmd/benchjson -out BENCH_solver.json
+	{ $(GO) test -run '^$$' -bench 'Service' -benchmem ./internal/serve && \
+	  $(GO) run ./cmd/loadgen -duration 3s -workers 4 -shards 8 ; } | \
+		$(GO) run ./cmd/benchjson -out BENCH_service.json \
+			-gate 'BenchmarkLoadgen/closed_loop:ops/sec>=1000000' \
+			-gate 'BenchmarkServiceQuote:allocs/op<=4' \
+			-gate 'BenchmarkServiceAdmit/per_shard:allocs/op<=8'
 	$(GO) run ./cmd/experiments -exp table4 -scale small -metrics BENCH_metrics.json

@@ -17,7 +17,9 @@
 //
 //	go run ./cmd/benchjson -gate 'BenchmarkSAMSolve/Paper/sparse:allocs/op<=364000'
 //
-// Each gate names a benchmark, a metric unit, and a ceiling; a gate whose
+// Each gate names a benchmark, a metric unit, and a ceiling ("<=") or a
+// floor (">=" — for rate metrics like a ReportMetric'd ops/sec, where
+// regressions point down); a gate whose
 // benchmark or unit is missing fails too, so a renamed bench cannot
 // silently disarm its guard. Any violation exits 1 after the report is
 // written. The unit may be a raw bench unit ("allocs/op", "pivots") or one
@@ -55,31 +57,40 @@ type report struct {
 	Results []result          `json:"results"`
 }
 
-// gate is one "bench:unit<=max" ceiling from a -gate flag.
+// gate is one "bench:unit<=max" ceiling or "bench:unit>=min" floor from
+// a -gate flag. Ceilings guard costs (ns/op, allocs); floors guard
+// rates (a throughput bench's ops/sec must not regress below the bar).
 type gate struct {
 	bench string
 	unit  string
-	max   float64
+	bound float64
+	floor bool // ">=": bound is a minimum instead of a maximum
 }
 
 func parseGate(s string) (gate, error) {
+	floor := false
 	op := strings.Index(s, "<=")
 	if op < 0 {
-		return gate{}, fmt.Errorf("gate %q: want 'bench:unit<=max'", s)
+		op = strings.Index(s, ">=")
+		floor = true
+	}
+	if op < 0 {
+		return gate{}, fmt.Errorf("gate %q: want 'bench:unit<=max' or 'bench:unit>=min'", s)
 	}
 	colon := strings.LastIndex(s[:op], ":")
 	if colon < 1 || colon+1 == op {
-		return gate{}, fmt.Errorf("gate %q: want 'bench:unit<=max'", s)
+		return gate{}, fmt.Errorf("gate %q: want 'bench:unit<=max' or 'bench:unit>=min'", s)
 	}
 	v, err := strconv.ParseFloat(strings.TrimSpace(s[op+2:]), 64)
 	if err != nil {
-		return gate{}, fmt.Errorf("gate %q: bad ceiling: %v", s, err)
+		return gate{}, fmt.Errorf("gate %q: bad bound: %v", s, err)
 	}
-	return gate{bench: s[:colon], unit: s[colon+1 : op], max: v}, nil
+	return gate{bench: s[:colon], unit: s[colon+1 : op], bound: v, floor: floor}, nil
 }
 
 // check returns an error unless some result matches the gate's benchmark
-// name and holds the metric at or under the ceiling. A missing benchmark
+// name and holds the metric at or under the ceiling (at or over the
+// floor for ">=" gates). A missing benchmark
 // or unit is a failure: a renamed bench must take its guard along. The
 // promoted JSON field names (ns_per_op, bytes_per_op, allocs_per_op) work
 // as units alongside the raw bench units, so wall-clock ceilings read the
@@ -103,8 +114,12 @@ func (g gate) check(results []result) error {
 		if !ok {
 			return fmt.Errorf("gate %s: benchmark did not report %q", g.bench, g.unit)
 		}
-		if v > g.max {
-			return fmt.Errorf("gate %s: %s = %g exceeds ceiling %g", g.bench, g.unit, v, g.max)
+		if g.floor {
+			if v < g.bound {
+				return fmt.Errorf("gate %s: %s = %g below floor %g", g.bench, g.unit, v, g.bound)
+			}
+		} else if v > g.bound {
+			return fmt.Errorf("gate %s: %s = %g exceeds ceiling %g", g.bench, g.unit, v, g.bound)
 		}
 		return nil
 	}
@@ -114,7 +129,7 @@ func (g gate) check(results []result) error {
 func main() {
 	out := flag.String("out", "", "write the JSON report to this file (default: stdout after the raw lines)")
 	var gates []gate
-	flag.Func("gate", "fail (exit 1) unless 'bench:unit<=max' holds; repeatable", func(s string) error {
+	flag.Func("gate", "fail (exit 1) unless 'bench:unit<=max' (or 'bench:unit>=min') holds; repeatable", func(s string) error {
 		g, err := parseGate(s)
 		if err != nil {
 			return err

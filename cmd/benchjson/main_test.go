@@ -65,10 +65,17 @@ func TestParseGate(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parseGate: %v", err)
 	}
-	if g.bench != "BenchmarkSAMSolve/Paper/sparse" || g.unit != "allocs/op" || g.max != 364000 {
+	if g.bench != "BenchmarkSAMSolve/Paper/sparse" || g.unit != "allocs/op" || g.bound != 364000 || g.floor {
 		t.Errorf("gate = %+v", g)
 	}
-	for _, bad := range []string{"", "nobench", "name:unit", "name<=5", ":unit<=5", "name:<=5", "name:unit<=x"} {
+	g, err = parseGate("BenchmarkServiceMixed:ops/sec>=1000000")
+	if err != nil {
+		t.Fatalf("parseGate floor: %v", err)
+	}
+	if g.bench != "BenchmarkServiceMixed" || g.unit != "ops/sec" || g.bound != 1000000 || !g.floor {
+		t.Errorf("floor gate = %+v", g)
+	}
+	for _, bad := range []string{"", "nobench", "name:unit", "name<=5", ":unit<=5", "name:<=5", "name:unit<=x", "name:unit>=x", ":unit>=5"} {
 		if _, err := parseGate(bad); err == nil {
 			t.Errorf("parseGate accepted %q", bad)
 		}
@@ -97,6 +104,12 @@ func TestGateCheck(t *testing.T) {
 		// A promoted field the bench never reported (zero) stays a failure:
 		// a disarmed wall-clock gate must be loud, not silently green.
 		{"BenchmarkSAMSolve/Paper/sparse:bytes_per_op<=1", false},
+		// Floors: a throughput-style metric must not fall below the bar.
+		{"BenchmarkSAMSolve/Paper/sparse:pivots>=20000", true},
+		{"BenchmarkSAMSolve/Paper/sparse:pivots>=28854", true}, // floor is inclusive
+		{"BenchmarkSAMSolve/Paper/sparse:pivots>=28855", false},
+		{"BenchmarkGone:pivots>=1", false},
+		{"BenchmarkSAMSolve/Paper/sparse:refactors>=1", false},
 	}
 	for _, c := range cases {
 		g, err := parseGate(c.gate)

@@ -118,6 +118,56 @@ func (h *Histogram) Count() int64 {
 	return h.count.Load()
 }
 
+// Edges returns the bucket edges (nil for nil).
+func (h *Histogram) Edges() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.edges
+}
+
+// Buckets returns a snapshot of the bucket counts: len(Edges())+1
+// entries, the last being the overflow bucket. Nil for nil.
+func (h *Histogram) Buckets() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0, 1]) from
+// the bucket CDF: the edge of the first bucket whose cumulative count
+// reaches q, or +Inf when the quantile lands in the overflow bucket.
+// 0 for nil or empty histograms.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	need := int64(math.Ceil(q * float64(total)))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= need {
+			if i < len(h.edges) {
+				return h.edges[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
 // Sum returns the sum of observations (0 for nil).
 func (h *Histogram) Sum() float64 {
 	if h == nil {

@@ -52,6 +52,24 @@ func TestHistogramBuckets(t *testing.T) {
 	if m.Histogram("menu.size", []float64{9}) != h {
 		t.Fatalf("second lookup did not return the same histogram")
 	}
+	// The exported snapshot matches the internal counts.
+	if got := h.Buckets(); len(got) != 4 || got[0] != 2 || got[3] != 1 {
+		t.Fatalf("Buckets() = %v, want [2 2 2 1]", got)
+	}
+	if got := h.Edges(); len(got) != 3 || got[2] != 4 {
+		t.Fatalf("Edges() = %v, want [1 2 4]", got)
+	}
+	// Quantile upper bounds from the CDF: p50 of 7 obs needs 4 counts ->
+	// second bucket's edge; p99 lands in overflow.
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("Quantile(0.5) = %v, want 2", got)
+	}
+	if got := h.Quantile(0.75); got != 4 {
+		t.Fatalf("Quantile(0.75) = %v, want 4", got)
+	}
+	if got := h.Quantile(0.99); !math.IsInf(got, 1) {
+		t.Fatalf("Quantile(0.99) = %v, want +Inf (overflow)", got)
+	}
 }
 
 func TestNilHandlesAreSafe(t *testing.T) {

@@ -57,6 +57,7 @@ func EstimateHighPriSetAside(observed [][]float64, stepsPerDay int, pct float64,
 // SetHighPriMatrix replaces the high-pri set-aside with an explicit
 // per-(edge, step) matrix (e.g. from EstimateHighPriSetAside).
 func (s *State) SetHighPriMatrix(m [][]float64) error {
+	s.guardPlan("SetHighPriMatrix")
 	if len(m) != s.Net.NumEdges() {
 		return fmt.Errorf("pricing: high-pri matrix has %d edges, want %d", len(m), s.Net.NumEdges())
 	}

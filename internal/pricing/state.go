@@ -74,6 +74,15 @@ type State struct {
 	outTotal []float64                  // flattened [e*Horizon+t]
 	outBySrc map[string]map[int]float64 // source -> cell -> removed capacity
 	outVer   uint64
+
+	// mut is the publication lifecycle stage (see publish.go). Once a
+	// state is shared with concurrent readers, the Invalidate contract for
+	// direct matrix writers is unenforceable — a write plus a cache rebuild
+	// cannot be atomic against lock-free quotes — so every mutator poisons
+	// itself past the stage that makes it unsafe: planning mutators panic
+	// on a published state, and Reserve (the serialized room commit of the
+	// admission service) additionally panics on a sealed one.
+	mut mutStage
 }
 
 // NewState creates a state with uniform initial prices. Usage-priced
@@ -119,6 +128,7 @@ func NewState(net *graph.Network, horizon int, basePrice float64) *State {
 // [0, physical capacity] per source (a source cannot remove more than the
 // whole link); non-finite values are rejected as 0.
 func (s *State) SetOutage(src string, e graph.EdgeID, t int, down float64) {
+	s.guardPlan("SetOutage")
 	if t < 0 || t >= s.Horizon {
 		return
 	}
@@ -199,6 +209,7 @@ func (s *State) OutageActive(from, to int) bool {
 // Call it after writing BasePrice / Reserved / HighPri entries directly;
 // the mutator methods keep the cache coherent on their own.
 func (s *State) Invalidate() {
+	s.guardPlan("Invalidate")
 	for e := 0; e < s.Net.NumEdges(); e++ {
 		for t := 0; t < s.Horizon; t++ {
 			s.refreshSeg(graph.EdgeID(e), t)
@@ -216,6 +227,7 @@ func (s *State) refreshSeg(e graph.EdgeID, t int) {
 // SetHighPriFraction reserves a uniform fraction of every link for
 // high-pri traffic.
 func (s *State) SetHighPriFraction(frac float64) {
+	s.guardPlan("SetHighPriFraction")
 	for _, e := range s.Net.Edges() {
 		for t := 0; t < s.Horizon; t++ {
 			s.HighPri[e.ID][t] = e.Capacity * frac
@@ -238,6 +250,7 @@ func (s *State) AddHighPri(e graph.EdgeID, t int, amount float64) {
 // capacity], keeping the segment cache coherent. Chaos/fault tooling uses
 // it to both impose and lift capacity reductions.
 func (s *State) SetHighPri(e graph.EdgeID, t int, amount float64) {
+	s.guardPlan("SetHighPri")
 	if amount < 0 {
 		amount = 0
 	}
@@ -251,6 +264,7 @@ func (s *State) SetHighPri(e graph.EdgeID, t int, amount float64) {
 // SetBasePrice overwrites one internal price entry, keeping the segment
 // cache coherent (bulk updates come from SetPricesWindow).
 func (s *State) SetBasePrice(e graph.EdgeID, t int, price float64) {
+	s.guardPlan("SetBasePrice")
 	s.BasePrice[e][t] = price
 	s.refreshSeg(e, t)
 }
@@ -341,8 +355,11 @@ func (s *State) roomAt(e graph.EdgeID, t int, extra float64) float64 {
 	return room
 }
 
-// Reserve commits amount bytes on every edge of route at time t.
+// Reserve commits amount bytes on every edge of route at time t. It is
+// the one mutation still legal on a *published* state — the admission
+// service serializes room commits per edge — but panics on a sealed one.
 func (s *State) Reserve(route graph.Path, t int, amount float64) {
+	s.guardRoom("Reserve")
 	for _, e := range route {
 		s.Reserved[e][t] += amount
 		s.refreshSeg(e, t)
@@ -352,6 +369,7 @@ func (s *State) Reserve(route graph.Path, t int, amount float64) {
 // SetReserved replaces the whole reservation plan (used after SAM
 // re-optimizes the forward schedule so RA quotes see the updated plan).
 func (s *State) SetReserved(usage [][]float64) error {
+	s.guardPlan("SetReserved")
 	if len(usage) != s.Net.NumEdges() {
 		return fmt.Errorf("pricing: reservation matrix has %d edges, want %d", len(usage), s.Net.NumEdges())
 	}
@@ -370,6 +388,7 @@ func (s *State) SetReserved(usage [][]float64) error {
 // Price Computer carries the reference window's prices into following
 // windows, §4.3).
 func (s *State) SetPricesWindow(from int, window [][]float64) error {
+	s.guardPlan("SetPricesWindow")
 	if len(window) != s.Net.NumEdges() {
 		return fmt.Errorf("pricing: price window has %d edges, want %d", len(window), s.Net.NumEdges())
 	}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"pretium/internal/graph"
+	"pretium/internal/pricing"
+	"pretium/internal/traffic"
+)
+
+// benchServiceWorld builds a 4-region ring where each ordered region
+// pair (i, i+1) owns a disjoint pair of 2-hop routes (src_i -> m ->
+// src_{i+1}): requests on different pairs are edge-disjoint and land in
+// different (src-region, dst-region) shard classes, so the cross-shard
+// mix exercises the sequencer's parallel path while the per-shard mix
+// hammers one quoter. Capacity is fat enough that a benchmark run never
+// saturates a cell (no mid-run room resets needed — the state stays
+// published the whole time, as in production).
+func benchServiceWorld(b *testing.B, shards int) (*Service, [][]*traffic.Request) {
+	b.Helper()
+	const pairs, horizon = 4, 16
+	net := graph.New()
+	hubs := make([]graph.NodeID, pairs)
+	for i := range hubs {
+		hubs[i] = net.AddNode(fmt.Sprintf("hub%d", i), fmt.Sprintf("region%d", i))
+	}
+	routesByPair := make([][]graph.Path, pairs)
+	for i := range hubs {
+		j := (i + 1) % pairs
+		m1 := net.AddNode(fmt.Sprintf("mid%da", i), fmt.Sprintf("region%d", i))
+		m2 := net.AddNode(fmt.Sprintf("mid%db", i), fmt.Sprintf("region%d", i))
+		routesByPair[i] = []graph.Path{
+			{net.AddEdge(hubs[i], m1, 1e12), net.AddEdge(m1, hubs[j], 1e12)},
+			{net.AddEdge(hubs[i], m2, 1e12), net.AddEdge(m2, hubs[j], 1e12)},
+		}
+	}
+	st := pricing.NewState(net, horizon, 1.0)
+	for e := 0; e < net.NumEdges(); e++ {
+		for t := 0; t < horizon; t++ {
+			st.SetBasePrice(graph.EdgeID(e), t, 1+0.001*float64(e*horizon+t))
+		}
+	}
+	svc, err := New(st, Config{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([][]*traffic.Request, pairs)
+	for i := range reqs {
+		j := (i + 1) % pairs
+		reqs[i] = make([]*traffic.Request, 64)
+		for k := range reqs[i] {
+			start := k % (horizon - 3)
+			reqs[i][k] = &traffic.Request{
+				ID: i*1000 + k, Src: hubs[i], Dst: hubs[j],
+				Routes: routesByPair[i],
+				Start:  start, End: start + 3,
+				Demand: 30 + float64(k%5)*10, Value: 100,
+				Kind: traffic.ByteRequest,
+			}
+		}
+	}
+	return svc, reqs
+}
+
+func reportOps(b *testing.B) {
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+}
+
+// BenchmarkServiceQuote is the lock-free read path: atomic epoch load
+// plus a pooled quote against the sealed view.
+func BenchmarkServiceQuote(b *testing.B) {
+	svc, reqs := benchServiceWorld(b, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := reqs[i%4][i%64]
+		if m := svc.Quote(r, r.Demand); len(m.Segments) == 0 {
+			b.Fatal("empty menu")
+		}
+	}
+	reportOps(b)
+}
+
+// BenchmarkServiceAdmit measures the full sequenced admission: ticket,
+// authoritative quote, purchase, commit, settle. per_shard keeps every
+// request in one (src-region, dst-region) class; cross_shard cycles
+// over four edge-disjoint classes.
+func BenchmarkServiceAdmit(b *testing.B) {
+	b.Run("per_shard", func(b *testing.B) {
+		svc, reqs := benchServiceWorld(b, 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if svc.Admit(reqs[0][i%64]) == nil {
+				b.Fatal("declined")
+			}
+		}
+		reportOps(b)
+	})
+	b.Run("cross_shard", func(b *testing.B) {
+		svc, reqs := benchServiceWorld(b, 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if svc.Admit(reqs[i%4][i%64]) == nil {
+				b.Fatal("declined")
+			}
+		}
+		reportOps(b)
+	})
+}
+
+// BenchmarkServiceMixed is the headline serving mix: 90% non-binding
+// quotes, 10% admissions — the closed-loop workload the ops/sec target
+// is stated against.
+func BenchmarkServiceMixed(b *testing.B) {
+	svc, reqs := benchServiceWorld(b, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := reqs[i%4][i%64]
+		if i%10 == 0 {
+			svc.Admit(r)
+		} else {
+			svc.Quote(r, r.Demand)
+		}
+	}
+	reportOps(b)
+}
+
+// BenchmarkServicePublish is the epoch swap itself: drain barrier, two
+// clones, cache rebuild. It runs once per timestep in production, so
+// milliseconds are fine; the bench guards against accidental
+// quadratic-in-state regressions.
+func BenchmarkServicePublish(b *testing.B) {
+	svc, _ := benchServiceWorld(b, 4)
+	plan := pricing.NewState(svc.Net(), svc.Horizon(), 2.0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.Publish(plan, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package serve turns Pretium's request admission into a long-running
+// concurrent service. Quoters read an epoch-swapped immutable snapshot
+// lock-free; admissions serialize room commits through a per-edge
+// ticket sequencer so the concurrent service is *exactly* equivalent —
+// bit-identical decisions, prices, and room — to the serial
+// pricing.Admitter replaying the same arrival stream (see DESIGN.md
+// §16 and the differential tests).
+package serve
+
+import (
+	"sync"
+
+	"pretium/internal/graph"
+)
+
+// sequencer orders admissions per edge. Every admission takes one
+// globally numbered ticket and enqueues it on each edge its route set
+// touches; it may run once it is at the head of all its queues and
+// settles (pops itself) when done. Two properties follow:
+//
+//  1. Exactness. On any single (edge, step) cell, commits happen in
+//     ticket order — which Service assigns in arrival order — so
+//     floating-point room sums are bit-identical to the serial
+//     controller's, and a quote never reads an edge while an
+//     earlier-ticket admission is mid-commit on it.
+//  2. Parallelism. Admissions with disjoint route unions share no
+//     queue and run concurrently.
+//
+// Deadlock-freedom: tickets are assigned and enqueued under one lock,
+// so each edge queue holds tickets in increasing order. The globally
+// smallest unsettled ticket therefore sits at the head of every queue
+// it is in (anything ahead of it would be a smaller unsettled ticket)
+// and is always runnable; settling it unblocks the next.
+//
+// A publish acquires a ticket on *every* edge — the drain barrier: all
+// earlier admissions settle before the epoch pointer swaps, all later
+// ones run against the new epoch.
+type sequencer struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	next    uint64
+	waiters int
+	q       []edgeQueue
+}
+
+// edgeQueue is a FIFO of pending tickets on one edge: buf[head:] are
+// outstanding, in increasing ticket order.
+type edgeQueue struct {
+	buf  []uint64
+	head int
+}
+
+func newSequencer(numEdges int) *sequencer {
+	s := &sequencer{q: make([]edgeQueue, numEdges)}
+	s.cond.L = &s.mu
+	return s
+}
+
+// acquire takes the next ticket and enqueues it on edges. The returned
+// ready flag reports that the ticket is already at the head of all its
+// queues — the uncontended fast path skips wait entirely.
+func (s *sequencer) acquire(edges []graph.EdgeID) (tk uint64, ready bool) {
+	s.mu.Lock()
+	tk = s.next
+	s.next++
+	ready = true
+	for _, e := range edges {
+		q := &s.q[e]
+		if q.head < len(q.buf) {
+			ready = false
+		}
+		q.buf = append(q.buf, tk)
+	}
+	s.mu.Unlock()
+	return tk, ready
+}
+
+// wait blocks until tk is at the head of every queue in edges.
+func (s *sequencer) wait(tk uint64, edges []graph.EdgeID) {
+	s.mu.Lock()
+	for {
+		ready := true
+		for _, e := range edges {
+			q := &s.q[e]
+			if q.buf[q.head] != tk {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		s.waiters++
+		s.cond.Wait()
+		s.waiters--
+	}
+	s.mu.Unlock()
+}
+
+// settle pops tk off its queues and wakes any blocked tickets. The
+// caller must hold the head of every queue in edges (wait returned, or
+// acquire reported ready).
+func (s *sequencer) settle(edges []graph.EdgeID) {
+	s.mu.Lock()
+	for _, e := range edges {
+		q := &s.q[e]
+		q.head++
+		if q.head == len(q.buf) {
+			q.head = 0
+			q.buf = q.buf[:0]
+		} else if q.head >= 64 && 2*q.head >= len(q.buf) {
+			n := copy(q.buf, q.buf[q.head:])
+			q.buf = q.buf[:n]
+			q.head = 0
+		}
+	}
+	if s.waiters > 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}

@@ -38,11 +38,14 @@ package pretium
 
 import (
 	"io"
+	"net/http"
 
 	"pretium/internal/core"
 	"pretium/internal/cost"
 	"pretium/internal/graph"
+	"pretium/internal/obs"
 	"pretium/internal/pricing"
+	"pretium/internal/serve"
 	"pretium/internal/sim"
 	"pretium/internal/traffic"
 )
@@ -173,6 +176,32 @@ func NewAdmitter(st *PriceState) *Admitter { return pricing.NewAdmitter(st) }
 func NewPriceState(n *Network, horizon int, basePrice float64) *PriceState {
 	return pricing.NewState(n, horizon, basePrice)
 }
+
+// Service is the concurrent sharded admission front-end: RA as a
+// long-running server. Quotes are lock-free against an epoch-swapped
+// immutable snapshot; admissions are sequenced per edge so the result
+// stream is bit-identical to a serial Admitter fed the same arrivals.
+// ServiceConfig sets the shard count and metrics registry.
+type (
+	Service       = serve.Service
+	ServiceConfig = serve.Config
+)
+
+// Metrics is the observability registry service counters land in.
+type Metrics = obs.Metrics
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewService wraps a freshly built price state into a concurrent
+// admission service; the state is published as epoch 0 and from then on
+// Service.Publish is the only way planning inputs change.
+func NewService(st *PriceState, cfg ServiceConfig) (*Service, error) { return serve.New(st, cfg) }
+
+// ServiceHandler returns the HTTP/JSON transport over a Service
+// (/v1/quote, /v1/admit, /v1/publish, /v1/state, /metrics) — what
+// cmd/pretium-serve listens with.
+func ServiceHandler(svc *Service, m *Metrics) http.Handler { return serve.Handler(svc, m) }
 
 // ReadTopologyCSV parses a network previously written with
 // (*Network).WriteCSV, letting the whole pipeline run on user-supplied

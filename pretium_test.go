@@ -1,7 +1,10 @@
 package pretium_test
 
 import (
+	"encoding/json"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"pretium"
@@ -70,5 +73,50 @@ func TestPublicQuoting(t *testing.T) {
 	// full 4 units cost 3.2*1 + 0.8*2 = 4.8.
 	if p := menu.Price(4); math.Abs(p-4.8) > 1e-9 {
 		t.Errorf("price(4) = %v, want 4.8", p)
+	}
+}
+
+// TestPublicService exercises the concurrent admission service through
+// the facade: in-process quote/admit plus one round trip over the HTTP
+// transport.
+func TestPublicService(t *testing.T) {
+	net, ids := pretium.FourNodeExample()
+	m := pretium.NewMetrics()
+	svc, err := pretium.NewService(pretium.NewPriceState(net, 2, 1), pretium.ServiceConfig{Shards: 2, Obs: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &pretium.Request{
+		ID: 0, Src: ids["A"], Dst: ids["B"],
+		Routes: []pretium.Path{net.ShortestPath(ids["A"], ids["B"])},
+		Start:  0, End: 1, Demand: 10, Value: 50,
+		Kind: pretium.ByteRequest,
+	}
+	menu := svc.Quote(req, req.Demand)
+	if menu.Cap() <= 0 {
+		t.Fatal("empty service menu on an idle network")
+	}
+	adm := svc.Admit(req)
+	if adm == nil || adm.Guaranteed <= 0 {
+		t.Fatalf("admission = %+v, want a guaranteed grant", adm)
+	}
+	srv := httptest.NewServer(pretium.ServiceHandler(svc, m))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/state = %d, want 200", resp.StatusCode)
+	}
+	var state struct {
+		Shards int `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	if state.Shards != 2 {
+		t.Errorf("shards = %d, want 2", state.Shards)
 	}
 }
